@@ -1,0 +1,54 @@
+/// Ablation A3: the contact-length learner — EWMA weight and head
+/// correction.
+///
+/// SNIP-RH learns T̄contact from probed contacts with "a small weight"
+/// EWMA (Sec. VI-C). Two design choices matter:
+///  - the EWMA weight (noise filtering vs tracking speed), and
+///  - head correction: the node can only time Tprobed, which under-counts
+///    Tcontact by the pre-awareness gap; adding Tcycle/2 reconstructs it.
+///    Without correction the estimate self-consistently settles near
+///    (2/3)·Tcontact, putting the duty ~1.5x above the knee — the paper
+///    notes ρ is not very sensitive there, which this bench quantifies.
+
+#include <cstdio>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_rh.hpp"
+
+int main() {
+  using namespace snipr;
+
+  const core::RoadsideScenario sc;
+  std::printf("# A3: length-learning ablation (true Tcontact = %.1f s, "
+              "knee duty = %.4f)\n",
+              sc.tcontact_s, sc.make_model().knee());
+  std::printf("# %8s %6s | %12s %10s | %10s %10s %8s\n", "weight", "head",
+              "T_est (s)", "duty", "zeta_sim", "phi_sim", "rho_sim");
+
+  for (const bool head : {true, false}) {
+    for (const double weight : {0.01, 0.05, 0.1, 0.3, 1.0}) {
+      core::SnipRhConfig rh_cfg;
+      rh_cfg.length_ewma_weight = weight;
+      rh_cfg.head_correction = head;
+      rh_cfg.initial_tcontact_s = 10.0;  // deliberately wrong prior (5x)
+      core::SnipRh rh{sc.rush_mask, rh_cfg};
+
+      core::ExperimentConfig cfg;
+      cfg.epochs = 14;
+      cfg.phi_max_s = 1e9;
+      cfg.sensing_rate_bps = 1e6;  // no data gating: pure probing study
+      cfg.seed = 17;
+      const auto r = core::run_experiment(sc, rh, cfg);
+
+      std::printf("  %8.2f %6s | %12.3f %10.4f | %10.2f %10.2f %8.2f\n",
+                  weight, head ? "yes" : "no", rh.tcontact_estimate_s(),
+                  rh.duty(), r.mean_zeta_s, r.mean_phi_s,
+                  r.mean_zeta_s > 0 ? r.mean_phi_s / r.mean_zeta_s : 0.0);
+    }
+  }
+
+  std::printf("# expectation: head correction converges near 2.0 s from the"
+              " bad prior; without it the estimate settles lower and the"
+              " duty overshoots the knee at a mild rho penalty\n");
+  return 0;
+}

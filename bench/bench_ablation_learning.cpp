@@ -1,0 +1,69 @@
+/// Ablation A4: how quickly are Rush Hours learned? (Sec. VII-B)
+///
+/// The paper argues the learning phase "could be short and the used
+/// duty-cycle could be very small" because only the *order* of slot
+/// capacities matters. This bench runs the learning phase of
+/// AdaptiveSnipRh (low-duty SNIP-AT + per-slot probe counts) for varying
+/// numbers of epochs and duties, over many seeds, and reports how often
+/// the learned top-4 mask equals the ground truth {7, 8, 17, 18}.
+
+#include <cstdio>
+
+#include "snipr/core/adaptive_snip_rh.hpp"
+#include "snipr/core/experiment.hpp"
+
+namespace {
+
+using namespace snipr;
+
+bool mask_is_ground_truth(const core::RushHourMask& mask) {
+  for (std::size_t h = 0; h < 24; ++h) {
+    const bool expected = h == 7 || h == 8 || h == 17 || h == 18;
+    if (mask.is_rush_slot(h) != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const core::RoadsideScenario sc;
+  const int seeds = 20;
+
+  std::printf("# A4: rush-hour learning accuracy (top-4 mask == ground "
+              "truth, %d seeds)\n", seeds);
+  std::printf("# %8s %12s | %10s | %16s\n", "epochs", "learn_duty",
+              "accuracy", "probes/epoch");
+
+  for (const double duty : {0.0005, 0.001, 0.002}) {
+    for (const std::size_t epochs : {1U, 2U, 3U, 5U, 7U}) {
+      int correct = 0;
+      double probes = 0.0;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        core::AdaptiveSnipRhConfig cfg;
+        cfg.learning_epochs = epochs;
+        cfg.learning_duty = duty;
+        cfg.tracking_duty = 0.0;
+        cfg.rush_slots = 4;
+        core::AdaptiveSnipRh sched{sc.profile.epoch(),
+                                   sc.profile.slot_count(), cfg};
+
+        core::ExperimentConfig run;
+        run.epochs = epochs;
+        run.phi_max_s = 1e9;
+        run.sensing_rate_bps = 1e6;
+        run.seed = static_cast<std::uint64_t>(seed) * 101;
+        const auto r = core::run_experiment(sc, sched, run);
+
+        correct += mask_is_ground_truth(sched.learner().mask()) ? 1 : 0;
+        probes += r.mean_contacts_probed;
+      }
+      std::printf("  %8zu %12.4f | %9.0f%% | %16.1f\n", epochs, duty,
+                  100.0 * correct / seeds, probes / seeds);
+    }
+  }
+
+  std::printf("# expectation: at duty 0.001 (~8-9 probes/day) a handful of"
+              " epochs suffices; accuracy rises with both duty and epochs\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+/// Ablation A5: tracking a seasonal rush-hour shift (the paper's
+/// future-work proposal, Sec. VII-B).
+///
+/// Rush hours move +2 h on day 12. Three nodes face the shift:
+///  - a static SNIP-RH with the original (now stale) mask,
+///  - an oracle SNIP-RH that is told the new mask immediately,
+///  - AdaptiveSnipRh with a background tracker (RH + tiny-duty SNIP-AT).
+/// Reported: probed capacity per epoch around the shift and the adaptive
+/// node's recovery relative to both bounds.
+
+#include <cstdio>
+#include <vector>
+
+#include "snipr/core/adaptive_snip_rh.hpp"
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/radio/channel.hpp"
+#include "snipr/node/mobile_node.hpp"
+#include "snipr/node/sensor_node.hpp"
+#include "snipr/sim/simulator.hpp"
+
+namespace {
+
+using namespace snipr;
+
+contact::ArrivalProfile shifted_roadside(std::size_t shift_hours) {
+  std::vector<double> intervals(24, 1800.0);
+  for (const std::size_t rush : {7U, 8U, 17U, 18U}) {
+    intervals[(rush + shift_hours) % 24] = 300.0;
+  }
+  return contact::ArrivalProfile{sim::Duration::hours(24),
+                                 std::move(intervals)};
+}
+
+std::vector<double> run_per_epoch_zeta(node::Scheduler& scheduler,
+                                       const contact::ContactSchedule& sched,
+                                       std::size_t days) {
+  const core::RoadsideScenario sc;
+  sim::Simulator simulator{3};
+  radio::Channel channel{sched, sc.link, simulator.rng().fork()};
+  node::MobileNode sink;
+  node::SensorNodeConfig cfg;
+  cfg.ton = sim::Duration::seconds(sc.snip.ton_s);
+  cfg.epoch = sim::Duration::hours(24);
+  cfg.budget_limit = sim::Duration::seconds(sc.phi_max_large_s());
+  cfg.sensing_rate_bps = 1e6;  // no data gating: isolates mask quality
+  node::SensorNode sensor{simulator, channel, sink, scheduler, cfg};
+  sensor.start();
+  simulator.run_until(sim::TimePoint::zero() +
+                      sim::Duration::hours(24) *
+                          static_cast<std::int64_t>(days));
+  std::vector<double> zetas;
+  for (const auto& e : sensor.epoch_history()) {
+    zetas.push_back(e.zeta.to_seconds());
+  }
+  return zetas;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t shift_day = 12;
+  const std::size_t total_days = 30;
+
+  // One shared environment: original pattern, then +2 h from shift_day.
+  core::RoadsideScenario before;
+  core::RoadsideScenario after;
+  after.profile = shifted_roadside(2);
+  sim::Rng rng{42};
+  auto head = before.make_schedule(shift_day,
+                                   contact::IntervalJitter::kNormalTenth, rng);
+  auto tail = after.make_schedule(total_days - shift_day,
+                                  contact::IntervalJitter::kNormalTenth, rng);
+  std::vector<contact::Contact> all = head.contacts();
+  const sim::Duration offset =
+      sim::Duration::hours(24) * static_cast<std::int64_t>(shift_day);
+  for (contact::Contact c : tail.contacts()) {
+    c.arrival = c.arrival + offset;
+    all.push_back(c);
+  }
+  const contact::ContactSchedule schedule{std::move(all)};
+
+  core::SnipRh stale{core::RushHourMask::from_hours({7, 8, 17, 18}),
+                     core::SnipRhConfig{}};
+  core::SnipRh oracle{core::RushHourMask::from_hours({9, 10, 19, 20}),
+                      core::SnipRhConfig{}};
+  auto adaptive_cfg = [](double tracking_duty) {
+    core::AdaptiveSnipRhConfig acfg;
+    acfg.learning_epochs = 3;
+    acfg.learning_duty = 0.002;
+    acfg.tracking_duty = tracking_duty;
+    acfg.rush_slots = 4;
+    return acfg;
+  };
+  core::AdaptiveSnipRh adaptive_weak{sim::Duration::hours(24), 24,
+                                     adaptive_cfg(0.0005)};
+  core::AdaptiveSnipRh adaptive_strong{sim::Duration::hours(24), 24,
+                                       adaptive_cfg(0.002)};
+
+  const auto stale_z = run_per_epoch_zeta(stale, schedule, total_days);
+  const auto oracle_z = run_per_epoch_zeta(oracle, schedule, total_days);
+  const auto weak_z = run_per_epoch_zeta(adaptive_weak, schedule, total_days);
+  const auto strong_z =
+      run_per_epoch_zeta(adaptive_strong, schedule, total_days);
+
+  std::printf("# A5: +2 h rush-hour shift on day %zu (zeta s/epoch);\n",
+              shift_day);
+  std::printf("# adaptive trackers at duty 5e-4 (weak) and 2e-3 (strong)\n");
+  std::printf("# %4s %10s %12s %12s %10s\n", "day", "stale",
+              "adapt(weak)", "adapt(strong)", "oracle(new)");
+  for (std::size_t d = 0; d < total_days; ++d) {
+    std::printf("  %4zu %10.2f %12.2f %12.2f %10.2f%s\n", d + 1, stale_z[d],
+                weak_z[d], strong_z[d], oracle_z[d],
+                d + 1 == shift_day ? "   <-- shift" : "");
+  }
+
+  auto mean_tail = [&](const std::vector<double>& z) {
+    double sum = 0.0;
+    for (std::size_t d = total_days - 7; d < total_days; ++d) sum += z[d];
+    return sum / 7.0;
+  };
+  std::printf("# last-week means: stale %.1f, adaptive(weak) %.1f, "
+              "adaptive(strong) %.1f, oracle %.1f\n",
+              mean_tail(stale_z), mean_tail(weak_z), mean_tail(strong_z),
+              mean_tail(oracle_z));
+  std::printf("# expectation: stale collapses to off-peak scraps; recovery"
+              " speed scales with the tracking duty — the paper's 'very"
+              " very small duty-cycle' trades energy for agility\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Ablation A2: slot-count N vs rush-hour specification accuracy.
+///
+/// Sec. VI-A: "With a larger N, Rush Hours can be specified more
+/// accurately, but it takes more effort to identify" them. Here the true
+/// rush windows are 7-9 h and 17-19 h; for each N the mask marks every
+/// slot overlapping a true window, and the fluid model reports the cost
+/// of the resulting over-coverage (coarse slots probe off-peak time).
+
+#include <cstdio>
+#include <vector>
+
+#include "snipr/model/epoch_model.hpp"
+
+namespace {
+
+/// Roadside environment re-gridded to N slots (rates by overlap fraction
+/// with the true rush windows).
+snipr::contact::ArrivalProfile regrid(std::size_t n) {
+  const double slot_hours = 24.0 / static_cast<double>(n);
+  std::vector<double> intervals;
+  intervals.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double lo = static_cast<double>(s) * slot_hours;
+    const double hi = lo + slot_hours;
+    auto overlap = [&](double a, double b) {
+      return std::max(0.0, std::min(hi, b) - std::max(lo, a));
+    };
+    const double rush_h = overlap(7.0, 9.0) + overlap(17.0, 19.0);
+    const double other_h = slot_hours - rush_h;
+    // Arrivals per hour: 12 in rush, 2 elsewhere.
+    const double per_slot = 12.0 * rush_h + 2.0 * other_h;
+    intervals.push_back(3600.0 * slot_hours / per_slot);
+  }
+  return snipr::contact::ArrivalProfile{snipr::sim::Duration::hours(24),
+                                        std::move(intervals)};
+}
+
+std::vector<bool> overlap_mask(std::size_t n) {
+  const double slot_hours = 24.0 / static_cast<double>(n);
+  std::vector<bool> mask(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double lo = static_cast<double>(s) * slot_hours;
+    const double hi = lo + slot_hours;
+    const bool touches_rush =
+        (lo < 9.0 && hi > 7.0) || (lo < 19.0 && hi > 17.0);
+    mask[s] = touches_rush;
+  }
+  return mask;
+}
+
+}  // namespace
+
+int main() {
+  using namespace snipr;
+
+  std::printf("# A2: slot count vs rush-hour specification accuracy\n");
+  std::printf("# %6s %12s %14s | %10s %10s %8s\n", "N", "rush_slots",
+              "masked_hours", "zeta", "phi", "rho");
+
+  for (const std::size_t n : {4U, 6U, 8U, 12U, 24U, 48U, 96U}) {
+    const auto profile = regrid(n);
+    const model::EpochModel m{profile, 2.0, model::SnipParams{}};
+    const auto mask = overlap_mask(n);
+    std::size_t rush_slots = 0;
+    for (const bool b : mask) rush_slots += b ? 1U : 0U;
+    const double masked_hours =
+        24.0 * static_cast<double>(rush_slots) / static_cast<double>(n);
+    // Probe everything the mask allows at the knee (no target/budget cap).
+    const auto out = m.snip_rh(mask, 1e9, 1e9);
+    std::printf("  %6zu %12zu %14.1f | %10.2f %10.2f %8.2f\n", n, rush_slots,
+                masked_hours, out.metrics.zeta_s, out.metrics.phi_s,
+                out.metrics.rho());
+  }
+
+  std::printf("# expectation: coarse grids (N <= 8) blanket off-peak hours"
+              " and pay higher rho; N = 24 matches the 4 h of true rush"
+              " time; finer grids add nothing here\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// Fig. 3 stand-in: temporal distribution of travel demand.
+///
+/// The paper motivates rush hours with third-party toll-bridge demand
+/// data. That dataset is not redistributable, so this bench regenerates a
+/// synthetic commuter curve with the same load-bearing shape — two
+/// pronounced peaks over a daytime shoulder and an overnight base — and
+/// prints both the hourly series and the contact profile derived from it.
+
+#include <cstdio>
+
+#include "snipr/trace/demand.hpp"
+
+int main() {
+  using namespace snipr;
+
+  const trace::HourlyWeights demand = trace::commuter_demand(7, 17, 8.0);
+  const auto profile = trace::demand_to_profile(demand, 880.0);
+
+  std::printf("# Fig. 3 stand-in: synthetic commuter demand (peaks 7h/17h)\n");
+  std::printf("# %4s %10s %16s %18s\n", "hour", "weight", "contacts/hour",
+              "mean_interval_s");
+  for (std::size_t h = 0; h < 24; ++h) {
+    std::printf("  %4zu %10.3f %16.2f %18.1f\n", h, demand[h],
+                profile.expected_contacts(h), profile.mean_interval_s(h));
+  }
+
+  std::printf("\n%s\n",
+              trace::demand_histogram(demand).render(48).c_str());
+
+  const auto order = profile.slots_by_rate();
+  std::printf("top-4 slots by rate:");
+  for (std::size_t i = 0; i < 4; ++i) std::printf(" %zu:00", order[i]);
+  std::printf("  (rush-hour structure is recoverable from demand alone)\n");
+  return 0;
+}

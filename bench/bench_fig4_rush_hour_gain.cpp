@@ -1,0 +1,34 @@
+/// Fig. 4: the energy gain ΦAT/Φrh of probing only during rush hours,
+/// over the (Trh/Tepoch, frh/fother) plane.
+///
+/// Prints the surface as grid rows (gnuplot `splot` format) plus the
+/// corner values the paper's 3-D plot shows (z up to ~11 at x = 0.05,
+/// y = 20), and marks the paper's road-side scenario point.
+
+#include <cstdio>
+
+#include "snipr/model/rush_hour_gain.hpp"
+
+int main() {
+  using namespace snipr;
+
+  std::printf("# Fig. 4: gain = ΦAT/Φrh = 1/(x + (1−x)/y)\n");
+  std::printf("# x = Trh/Tepoch (0.05..0.5), y = frh/fother (2..20)\n");
+  std::printf("# %6s %6s %8s\n", "x", "y", "gain");
+  for (double x = 0.05; x <= 0.501; x += 0.05) {
+    for (double y = 2.0; y <= 20.001; y += 2.0) {
+      std::printf("  %6.2f %6.1f %8.3f\n", x, y,
+                  model::rush_hour_gain(x, y));
+    }
+    std::printf("\n");  // gnuplot grid separator
+  }
+
+  std::printf("# corners: gain(0.05, 20) = %.2f (paper z-max ~10-11), "
+              "gain(0.5, 2) = %.2f (paper z-min ~1.3)\n",
+              model::rush_hour_gain(0.05, 20.0),
+              model::rush_hour_gain(0.5, 2.0));
+  std::printf("# road-side scenario (x = 4/24, y = 6): gain = %.3f — the "
+              "ρ_AT/ρ_RH = 9.82/3 ratio of Figs. 5-6\n",
+              model::rush_hour_gain(4.0 / 24.0, 6.0));
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// Performance microbenchmarks (google-benchmark) for the computational
+/// kernels behind the figure harnesses: event-queue operations, a full
+/// simulated day, the water-filling solver, the closed-form model and
+/// trace parsing. These guard against regressions that would make the
+/// two-week sweeps (Figs. 7-8) impractical.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/model/optimizer.hpp"
+#include "snipr/sim/event_queue.hpp"
+#include "snipr/trace/trace_io.hpp"
+
+namespace {
+
+using namespace snipr;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(sim::TimePoint::zero() +
+                     sim::Duration::microseconds(
+                         static_cast<std::int64_t>((i * 7919) % n)),
+                 [] {});
+    }
+    while (auto e = q.pop()) benchmark::DoNotOptimize(e->id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_SimulatedDaySnipRh(benchmark::State& state) {
+  const core::RoadsideScenario sc;
+  for (auto _ : state) {
+    core::SnipRh rh{sc.rush_mask, core::SnipRhConfig{}};
+    core::ExperimentConfig cfg;
+    cfg.epochs = 1;
+    cfg.phi_max_s = sc.phi_max_large_s();
+    cfg.sensing_rate_bps = sc.sensing_rate_for_target(48.0);
+    cfg.seed = 1;
+    const auto r = core::run_experiment(sc, rh, cfg);
+    benchmark::DoNotOptimize(r.mean_zeta_s);
+  }
+}
+BENCHMARK(BM_SimulatedDaySnipRh);
+
+void BM_WaterFillingSolve(benchmark::State& state) {
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  std::vector<double> intervals(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    intervals[s] = 300.0 + 100.0 * static_cast<double>(s % 13);
+  }
+  const model::EpochModel m{
+      contact::ArrivalProfile{sim::Duration::hours(24), intervals}, 2.0,
+      model::SnipParams{}};
+  for (auto _ : state) {
+    const auto r = model::maximize_capacity(m, 500.0);
+    benchmark::DoNotOptimize(r.zeta_s);
+  }
+}
+BENCHMARK(BM_WaterFillingSolve)->Arg(24)->Arg(96);
+
+void BM_UpsilonClosedForm(benchmark::State& state) {
+  double duty = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::upsilon_fixed(duty, 2.0, 0.02));
+    duty = duty < 0.5 ? duty * 1.01 : 0.001;
+  }
+}
+BENCHMARK(BM_UpsilonClosedForm);
+
+void BM_TraceRoundTrip(benchmark::State& state) {
+  const core::RoadsideScenario sc;
+  sim::Rng rng{1};
+  const auto schedule =
+      sc.make_schedule(7, contact::IntervalJitter::kNormalTenth, rng);
+  std::ostringstream os;
+  trace::write_csv(os, schedule.contacts());
+  const std::string csv = os.str();
+  for (auto _ : state) {
+    std::istringstream is{csv};
+    const auto contacts = trace::read_csv(is);
+    benchmark::DoNotOptimize(contacts.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(csv.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_TraceRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

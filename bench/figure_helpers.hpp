@@ -1,0 +1,91 @@
+#pragma once
+
+/// Shared helpers for the figure-regeneration benches.
+///
+/// Every `bench_fig*` binary prints the data series behind one figure of
+/// the paper (Wu, Brown, Sreenan, ICDCSW 2011) in a gnuplot-friendly
+/// column format; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdio>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_opt.hpp"
+#include "snipr/core/snip_rh.hpp"
+
+namespace snipr::bench {
+
+struct Point {
+  double zeta;
+  double phi;
+  [[nodiscard]] double rho() const { return zeta > 0.0 ? phi / zeta : 0.0; }
+};
+
+/// Fluid-model outcome of one mechanism at one (target, budget) point.
+inline Point analysis_point(const core::RoadsideScenario& sc,
+                            const model::EpochModel& m, const char* mechanism,
+                            double target, double phi_max) {
+  model::ScheduleOutcome out;
+  const std::string name{mechanism};
+  if (name == "AT") {
+    out = m.snip_at(target, phi_max);
+  } else if (name == "OPT") {
+    out = m.snip_opt(target, phi_max);
+  } else {
+    out = m.snip_rh(sc.rush_mask.bits(), target, phi_max);
+  }
+  return {out.metrics.zeta_s, out.metrics.phi_s};
+}
+
+/// Two-week simulated outcome of one mechanism (Figs. 7/8 methodology:
+/// normal-jittered intervals and lengths, per-day averages).
+inline Point simulation_point(const core::RoadsideScenario& sc,
+                              const char* mechanism, double target,
+                              double phi_max, std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.epochs = 14;
+  cfg.phi_max_s = phi_max;
+  cfg.sensing_rate_bps = sc.sensing_rate_for_target(target);
+  cfg.jitter = contact::IntervalJitter::kNormalTenth;
+  cfg.seed = seed;
+
+  const model::EpochModel m = sc.make_model();
+  const std::string name{mechanism};
+  core::RunResult r;
+  if (name == "AT") {
+    const auto plan = m.snip_at(target, phi_max);
+    core::SnipAt at{plan.duties[0], sim::Duration::seconds(sc.snip.ton_s)};
+    r = core::run_experiment(sc, at, cfg);
+  } else if (name == "OPT") {
+    const auto plan = m.snip_opt(target, phi_max);
+    core::SnipOpt opt{plan.duties, sc.profile.epoch(),
+                      sim::Duration::seconds(sc.snip.ton_s)};
+    r = core::run_experiment(sc, opt, cfg);
+  } else {
+    core::SnipRh rh{sc.rush_mask, core::SnipRhConfig{}};
+    r = core::run_experiment(sc, rh, cfg);
+  }
+  return {r.mean_zeta_s, r.mean_phi_s};
+}
+
+/// Print the three-panel series (ζ, Φ, ρ vs ζtarget) of one Fig. 5-8 style
+/// figure. `point` maps (mechanism, target) to a Point.
+template <typename PointFn>
+void print_figure(const char* title, double phi_max, PointFn&& point) {
+  std::printf("# %s  (phi_max = %.1f s)\n", title, phi_max);
+  std::printf("# %8s | %10s %10s %10s | %10s %10s %10s | %8s %8s %8s\n",
+              "target_s", "zeta_AT", "zeta_OPT", "zeta_RH", "phi_AT",
+              "phi_OPT", "phi_RH", "rho_AT", "rho_OPT", "rho_RH");
+  for (const double target : core::RoadsideScenario::zeta_targets_s()) {
+    const Point at = point("AT", target);
+    const Point opt = point("OPT", target);
+    const Point rh = point("RH", target);
+    std::printf("  %8.0f | %10.2f %10.2f %10.2f | %10.2f %10.2f %10.2f | "
+                "%8.2f %8.2f %8.2f\n",
+                target, at.zeta, opt.zeta, rh.zeta, at.phi, opt.phi, rh.phi,
+                at.rho(), opt.rho(), rh.rho());
+  }
+  std::printf("\n");
+}
+
+}  // namespace snipr::bench

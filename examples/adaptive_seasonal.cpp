@@ -1,0 +1,111 @@
+/// Adaptive SNIP-RH under a seasonal rush-hour shift.
+///
+/// The paper's future-work proposal (Sec. VII-B): keep a very-low-duty
+/// SNIP-AT running in the background so the node can track a drifting
+/// mobility pattern. This example starts with morning/evening peaks at
+/// 7/17, lets AdaptiveSnipRh learn them, then shifts the pattern two hours
+/// later (daylight-saving style) mid-run and reports how the mask follows.
+///
+///   $ ./example_adaptive_seasonal
+
+#include <cstdio>
+#include <string>
+
+#include "snipr/core/adaptive_snip_rh.hpp"
+#include "snipr/core/experiment.hpp"
+#include "snipr/radio/channel.hpp"
+#include "snipr/node/mobile_node.hpp"
+#include "snipr/node/sensor_node.hpp"
+#include "snipr/sim/simulator.hpp"
+
+namespace {
+
+snipr::contact::ArrivalProfile shifted_roadside(std::size_t shift_hours) {
+  std::vector<double> intervals(24, 1800.0);
+  for (const std::size_t rush : {7U, 8U, 17U, 18U}) {
+    intervals[(rush + shift_hours) % 24] = 300.0;
+  }
+  return snipr::contact::ArrivalProfile{snipr::sim::Duration::hours(24),
+                                        std::move(intervals)};
+}
+
+std::string mask_to_string(const snipr::core::RushHourMask& mask) {
+  std::string out;
+  for (std::size_t h = 0; h < 24; ++h) {
+    out += mask.is_rush_slot(h) ? '#' : '.';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace snipr;
+
+  const std::size_t days_before_shift = 10;
+  const std::size_t days_after_shift = 14;
+
+  // Build a 24-day contact schedule whose rush hours jump from {7,8,17,18}
+  // to {9,10,19,20} on day 10.
+  sim::Rng rng{99};
+  core::RoadsideScenario before;
+  core::RoadsideScenario after;
+  after.profile = shifted_roadside(2);
+
+  auto head = before.make_schedule(days_before_shift,
+                                   contact::IntervalJitter::kNormalTenth, rng);
+  auto tail = after.make_schedule(days_after_shift,
+                                  contact::IntervalJitter::kNormalTenth, rng);
+  std::vector<contact::Contact> all = head.contacts();
+  const sim::Duration offset =
+      sim::Duration::hours(24) * static_cast<std::int64_t>(days_before_shift);
+  for (contact::Contact c : tail.contacts()) {
+    c.arrival = c.arrival + offset;
+    all.push_back(c);
+  }
+
+  // One sensor node driven by AdaptiveSnipRh: 3 learning epochs, then
+  // SNIP-RH with a 0.0001-duty background tracker.
+  core::AdaptiveSnipRhConfig cfg;
+  cfg.learning_epochs = 3;
+  cfg.learning_duty = 0.002;
+  cfg.tracking_duty = 0.0005;
+  cfg.rush_slots = 4;
+  cfg.score_weight = 0.3;
+  core::AdaptiveSnipRh scheduler{sim::Duration::hours(24), 24, cfg};
+
+  sim::Simulator simulator{1};
+  radio::Channel channel{contact::ContactSchedule{std::move(all)},
+                        before.link, simulator.rng().fork()};
+  node::MobileNode sink;
+  node::SensorNodeConfig node_cfg;
+  node_cfg.ton = sim::Duration::seconds(before.snip.ton_s);
+  node_cfg.epoch = sim::Duration::hours(24);
+  node_cfg.budget_limit = sim::Duration::seconds(before.phi_max_large_s());
+  node_cfg.sensing_rate_bps = before.sensing_rate_for_target(16.0);
+  node::SensorNode sensor{simulator, channel, sink, scheduler, node_cfg};
+  sensor.start();
+
+  std::printf("day | mask (hour 0..23)          | phase    | ζ (s)\n");
+  const std::size_t total_days = days_before_shift + days_after_shift;
+  for (std::size_t day = 1; day <= total_days; ++day) {
+    simulator.run_until(sim::TimePoint::zero() +
+                        sim::Duration::hours(24) *
+                            static_cast<std::int64_t>(day));
+    const auto& history = sensor.epoch_history();
+    const double zeta = history.empty()
+                            ? 0.0
+                            : history.back().zeta.to_seconds();
+    std::printf("%3zu | %s | %-8s | %6.2f%s\n", day,
+                mask_to_string(scheduler.current_mask()).c_str(),
+                scheduler.learning() ? "learning" : "exploit", zeta,
+                day == days_before_shift ? "   <-- pattern shifts +2 h"
+                                         : "");
+  }
+
+  std::printf(
+      "\nThe background tracker keeps per-slot statistics flowing, so the"
+      "\nmask follows the +2 h shift within a few epochs and probed"
+      "\ncapacity recovers without any operator intervention.\n");
+  return 0;
+}

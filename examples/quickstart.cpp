@@ -1,0 +1,65 @@
+/// Quickstart: probe one day of road-side contacts with SNIP-RH.
+///
+/// Builds the paper's reference scenario (Sec. VII-A), runs the three
+/// scheduling mechanisms side by side for one week, and prints the
+/// headline metrics: probed capacity ζ, probing overhead Φ and the cost
+/// per probed second ρ = Φ/ζ.
+///
+///   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_opt.hpp"
+#include "snipr/core/snip_rh.hpp"
+
+int main() {
+  using namespace snipr;
+
+  // The environment: 24 h epochs, rush hours 7-9 and 17-19, a contact
+  // every 300 s in rush hours and every 1800 s otherwise, 2 s contacts.
+  const core::RoadsideScenario scenario;
+
+  // The node wants 16 s of probed contact capacity per day and may spend
+  // at most Tepoch/1000 = 86.4 s of radio-on time probing for it.
+  const double zeta_target_s = 16.0;
+  const double phi_max_s = scenario.phi_max_small_s();
+
+  core::ExperimentConfig cfg;
+  cfg.epochs = 7;
+  cfg.phi_max_s = phi_max_s;
+  cfg.sensing_rate_bps = scenario.sensing_rate_for_target(zeta_target_s);
+  cfg.seed = 42;
+
+  // Size the baselines from the fluid model, exactly as the paper does.
+  const model::EpochModel model = scenario.make_model();
+  const auto at_plan = model.snip_at(zeta_target_s, phi_max_s);
+  const auto opt_plan = model.snip_opt(zeta_target_s, phi_max_s);
+
+  core::SnipAt at{at_plan.duties[0],
+                  sim::Duration::seconds(scenario.snip.ton_s)};
+  core::SnipOpt opt{opt_plan.duties, scenario.profile.epoch(),
+                    sim::Duration::seconds(scenario.snip.ton_s)};
+  core::SnipRh rh{scenario.rush_mask, core::SnipRhConfig{}};
+
+  std::printf("target ζ = %.0f s/day, budget Φmax = %.1f s/day\n\n",
+              zeta_target_s, phi_max_s);
+  std::printf("%-10s %10s %10s %8s %8s %12s\n", "policy", "ζ (s/day)",
+              "Φ (s/day)", "ρ", "missed", "latency (h)");
+
+  for (node::Scheduler* scheduler :
+       std::initializer_list<node::Scheduler*>{&at, &opt, &rh}) {
+    const core::RunResult r = core::run_experiment(scenario, *scheduler, cfg);
+    std::printf("%-10s %10.2f %10.2f %8.2f %7.0f%% %12.1f\n",
+                r.scheduler_name.c_str(), r.mean_zeta_s, r.mean_phi_s,
+                r.rho(), 100.0 * r.miss_ratio,
+                r.mean_delivery_latency_s / 3600.0);
+  }
+
+  std::printf(
+      "\nSNIP-RH meets the target at roughly a third of SNIP-AT's probing"
+      "\nenergy by only waking during rush hours; the large miss ratio is"
+      "\nintentional (off-peak contacts are not needed for this target).\n");
+  return 0;
+}

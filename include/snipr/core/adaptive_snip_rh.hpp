@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "snipr/core/rush_hour_learner.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_rh.hpp"
+
+/// \file adaptive_snip_rh.hpp
+/// Learn-then-exploit SNIP-RH with seasonal tracking.
+///
+/// Sec. VII-B sketches (and the paper's future work proposes) a node that
+/// identifies Rush Hours autonomously: run SNIP-AT at a small duty for a
+/// few epochs to rank the time-slots, then switch to SNIP-RH. To keep
+/// tracking a drifting pattern, SNIP-AT continues in the background at a
+/// much smaller duty; when the learned ranking changes, the rush-hour mask
+/// is refreshed at the next epoch boundary.
+
+namespace snipr::core {
+
+struct AdaptiveSnipRhConfig {
+  /// Epochs of pure SNIP-AT before the first mask is adopted.
+  std::size_t learning_epochs{3};
+  /// Duty used while learning.
+  double learning_duty{0.001};
+  /// Background SNIP-AT duty during the exploit phase (0 disables
+  /// tracking; the paper suggests "a very very small duty-cycle").
+  double tracking_duty{0.0001};
+  /// Slots the mask marks as rush.
+  std::size_t rush_slots{4};
+  /// EWMA weight per epoch when updating slot scores.
+  double score_weight{0.3};
+  /// A slot outside the mask replaces the weakest slot inside it only when
+  /// its score exceeds the incumbent's by this margin. Prevents the mask
+  /// from flickering on single-sample noise while still following a real
+  /// shift within a few epochs. 0 disables hysteresis.
+  double mask_hysteresis{0.3};
+  /// SNIP-RH parameters for the exploit phase.
+  SnipRhConfig rh{};
+};
+
+class AdaptiveSnipRh final : public node::Scheduler {
+ public:
+  AdaptiveSnipRh(sim::Duration epoch, std::size_t slot_count,
+                 AdaptiveSnipRhConfig config);
+
+  [[nodiscard]] node::SchedulerDecision on_wakeup(
+      const node::SensorContext& ctx) override;
+  void on_contact_probed(const node::ProbedContactObservation& obs) override;
+  void on_epoch_start(std::int64_t epoch_index) override;
+  [[nodiscard]] std::string name() const override { return "SNIP-RH/adaptive"; }
+
+  [[nodiscard]] bool learning() const noexcept { return learning_; }
+  [[nodiscard]] const RushHourMask& current_mask() const noexcept {
+    return rh_.mask();
+  }
+  [[nodiscard]] const RushHourLearner& learner() const noexcept {
+    return learner_;
+  }
+
+ private:
+  AdaptiveSnipRhConfig config_;
+  RushHourLearner learner_;
+  SnipAt learn_probe_;   ///< learning-phase SNIP-AT
+  SnipAt track_probe_;   ///< background tracker during exploit phase
+  SnipRh rh_;
+  bool learning_{true};
+  /// Alternates RH and tracker decisions so both make progress; the
+  /// tracker's tiny duty means it rarely wins the earlier wakeup anyway.
+  sim::TimePoint next_track_due_{sim::TimePoint::zero()};
+};
+
+}  // namespace snipr::core

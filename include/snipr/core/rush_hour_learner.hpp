@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "snipr/core/rush_hour_mask.hpp"
+#include "snipr/sim/time.hpp"
+
+/// \file rush_hour_learner.hpp
+/// Online identification of Rush Hours (Sec. VII-B discussion).
+///
+/// The paper observes that a node "only needs to learn the order of these
+/// time-slots' contact capacity", so a short low-duty SNIP-AT phase with
+/// per-slot probe counting suffices. This learner accumulates per-slot
+/// scores — EWMA-smoothed across epochs so a slowly shifting mobility
+/// pattern (seasonal rush-hour drift) is tracked — and emits a mask of the
+/// top-k slots.
+///
+/// Scoring has two modes:
+///  - Count mode (no effort recorded): a slot's epoch sample is its raw
+///    probe count. Valid while probing effort is uniform across slots
+///    (pure SNIP-AT learning).
+///  - Effort-normalised mode (record_effort() called): the sample is
+///    probes per radio-on second spent in the slot — an unbiased contact-
+///    rate estimate even when effort is highly non-uniform, as it is once
+///    SNIP-RH exploits a mask (knee duty inside, tiny tracker duty
+///    outside). Without this correction an adopted mask self-reinforces
+///    and a shifted pattern is never relearned. Slots with zero effort in
+///    an epoch carry no information and keep their score.
+
+namespace snipr::core {
+
+class RushHourLearner {
+ public:
+  /// \param epoch          epoch length (Tepoch).
+  /// \param slot_count     number of slots N.
+  /// \param rush_slots     how many slots the emitted mask marks as rush.
+  /// \param epoch_weight   EWMA weight when folding an epoch's samples
+  ///                       into the long-term per-slot score.
+  /// \param effort_prior_s additive smoothing for effort-normalised
+  ///                       samples: rate = count/(effort + prior). Damps
+  ///                       the explosive estimate of a lucky probe under
+  ///                       near-zero effort; irrelevant in count mode.
+  RushHourLearner(sim::Duration epoch, std::size_t slot_count,
+                  std::size_t rush_slots, double epoch_weight = 0.3,
+                  double effort_prior_s = 2.0);
+
+  /// Record one probed contact at time `t`.
+  void record_probe(sim::TimePoint t);
+
+  /// Record probing effort (radio-on time) spent at time `t`. Calling this
+  /// at least once per epoch switches the epoch to effort-normalised
+  /// scoring.
+  void record_effort(sim::TimePoint t, sim::Duration radio_on);
+
+  /// Fold the epoch's samples into the long-term scores. Call at each
+  /// epoch boundary.
+  void finish_epoch();
+
+  /// Epochs folded in so far.
+  [[nodiscard]] std::size_t epochs_observed() const noexcept {
+    return epochs_;
+  }
+  /// Long-term per-slot scores (EWMA of per-epoch probe counts).
+  [[nodiscard]] const std::vector<double>& scores() const noexcept {
+    return scores_;
+  }
+  /// Slots ordered by decreasing score (ties by index).
+  [[nodiscard]] std::vector<contact::SlotIndex> slots_by_score() const;
+  /// Mask marking the top `rush_slots` slots.
+  [[nodiscard]] RushHourMask mask() const;
+
+ private:
+  [[nodiscard]] std::size_t slot_index(sim::TimePoint t) const noexcept;
+
+  sim::Duration epoch_;
+  std::size_t rush_slots_;
+  double epoch_weight_;
+  double effort_prior_s_;
+  std::vector<double> scores_;
+  std::vector<double> current_counts_;
+  std::vector<double> current_effort_s_;
+  std::size_t epochs_{0};
+  bool scores_initialised_{false};
+};
+
+}  // namespace snipr::core

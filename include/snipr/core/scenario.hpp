@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "snipr/contact/process.hpp"
+#include "snipr/contact/profile.hpp"
+#include "snipr/contact/schedule.hpp"
+#include "snipr/core/rush_hour_mask.hpp"
+#include "snipr/model/epoch_model.hpp"
+#include "snipr/radio/link.hpp"
+
+/// \file scenario.hpp
+/// The paper's evaluation scenario (Sec. VII-A) as a reusable bundle.
+///
+/// Defaults: Tepoch = 24 h, N = 24 slots, Rush Hours 7:00-9:00 and
+/// 17:00-19:00, Tinterval = 300 s in rush hours / 1800 s elsewhere,
+/// Tcontact = 2 s, Ton = 20 ms (see DESIGN.md for the calibration),
+/// Φmax ∈ {Tepoch/1000, Tepoch/100} and ζtarget ∈ {16..56} s as sweep
+/// points. All fields are plain data and freely overridable.
+
+namespace snipr::core {
+
+struct RoadsideScenario {
+  contact::ArrivalProfile profile{contact::ArrivalProfile::roadside()};
+  RushHourMask rush_mask{RushHourMask::from_hours({7, 8, 17, 18})};
+  double tcontact_s{2.0};
+  model::SnipParams snip{};  // Ton = 20 ms
+  radio::LinkParams link{};
+
+  /// Published sweep points.
+  [[nodiscard]] static constexpr std::array<double, 6> zeta_targets_s() {
+    return {16.0, 24.0, 32.0, 40.0, 48.0, 56.0};
+  }
+  [[nodiscard]] double phi_max_small_s() const {
+    return profile.epoch().to_seconds() / 1000.0;
+  }
+  [[nodiscard]] double phi_max_large_s() const {
+    return profile.epoch().to_seconds() / 100.0;
+  }
+
+  /// Fluid analysis model over this environment.
+  [[nodiscard]] model::EpochModel make_model() const {
+    return model::EpochModel{profile, tcontact_s, snip};
+  }
+
+  /// Sensing rate (bytes/s) that generates, per epoch, exactly the data
+  /// volume one ζtarget of link time can carry (Sec. VII-A.2: "sensed data
+  /// is generated with a constant rate derived from ζtarget").
+  [[nodiscard]] double sensing_rate_for_target(double zeta_target_s) const {
+    return zeta_target_s * link.data_rate_bps / profile.epoch().to_seconds();
+  }
+
+  /// Materialise a contact schedule over `epochs` epochs. kNone jitter is
+  /// the paper's analysis environment; kNormalTenth its simulation one.
+  [[nodiscard]] contact::ContactSchedule make_schedule(
+      std::size_t epochs, contact::IntervalJitter jitter,
+      sim::Rng& rng) const {
+    std::unique_ptr<sim::Distribution> length;
+    if (jitter == contact::IntervalJitter::kNone) {
+      length = std::make_unique<sim::FixedDistribution>(tcontact_s);
+    } else {
+      length = std::make_unique<sim::TruncatedNormalDistribution>(
+          tcontact_s, tcontact_s / 10.0);
+    }
+    contact::IntervalContactProcess process{profile, std::move(length),
+                                            jitter};
+    return contact::ContactSchedule{contact::materialize(
+        process, profile.epoch() * static_cast<std::int64_t>(epochs), rng)};
+  }
+};
+
+}  // namespace snipr::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "snipr/node/scheduler.hpp"
+#include "snipr/sim/time.hpp"
+
+/// \file snip_opt.hpp
+/// SNIP-OPT: executes a precomputed per-slot duty plan (Sec. V).
+///
+/// The paper's optimization-based mechanism assumes the exact contact
+/// arrival process is known offline; the two-step water-filling solver
+/// (snipr::model::maximize_capacity / minimize_overhead) produces the
+/// per-slot duties and this scheduler simply executes them, slot by slot,
+/// stopping when the epoch's energy budget runs out.
+
+namespace snipr::core {
+
+class SnipOpt final : public node::Scheduler {
+ public:
+  /// \param duties   one duty in [0, 1] per slot (from EpochModel::snip_opt).
+  /// \param epoch    epoch length; must divide evenly into duties.size().
+  /// \param ton      SNIP's per-wakeup radio-on time.
+  SnipOpt(std::vector<double> duties, sim::Duration epoch, sim::Duration ton);
+
+  [[nodiscard]] node::SchedulerDecision on_wakeup(
+      const node::SensorContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "SNIP-OPT"; }
+
+  [[nodiscard]] const std::vector<double>& duties() const noexcept {
+    return duties_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(sim::TimePoint t) const noexcept;
+  /// Start of the next slot with a positive duty, at or after `t`.
+  [[nodiscard]] std::optional<sim::TimePoint> next_active_slot(
+      sim::TimePoint t) const noexcept;
+
+  std::vector<double> duties_;
+  sim::Duration epoch_;
+  sim::Duration ton_;
+  sim::Duration slot_len_;
+};
+
+}  // namespace snipr::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "snipr/contact/schedule.hpp"
+#include "snipr/node/sensor_node.hpp"
+#include "snipr/radio/link.hpp"
+
+/// \file deployment.hpp
+/// Multi-node experiment runner.
+///
+/// One shared simulator drives N sensor nodes, each with its own channel
+/// (over its own contact schedule), data buffer, budget and scheduler
+/// instance, all visited by the same vehicle flow. Reports per-node and
+/// aggregate outcomes — including the min/max fairness spread that a
+/// single-node study cannot see.
+
+namespace snipr::deploy {
+
+/// Per-node outcome over the run (means across complete epochs).
+struct NodeOutcome {
+  std::size_t node_index{0};
+  std::string scheduler_name;
+  std::size_t epochs{0};
+  double mean_zeta_s{0.0};
+  double mean_phi_s{0.0};
+  double mean_bytes_uploaded{0.0};
+  double mean_contacts_probed{0.0};
+  double miss_ratio{0.0};
+  double mean_delivery_latency_s{0.0};
+
+  [[nodiscard]] double rho() const noexcept {
+    return mean_zeta_s > 0.0 ? mean_phi_s / mean_zeta_s : 0.0;
+  }
+};
+
+/// Whole-deployment outcome.
+struct DeploymentOutcome {
+  std::vector<NodeOutcome> nodes;
+  double total_zeta_s{0.0};
+  double total_phi_s{0.0};
+  double total_bytes{0.0};
+  double min_zeta_s{0.0};   ///< worst-served node
+  double max_zeta_s{0.0};   ///< best-served node
+  /// Jain's fairness index over per-node ζ (1 = perfectly even).
+  double zeta_fairness{1.0};
+};
+
+struct DeploymentConfig {
+  node::SensorNodeConfig node;  ///< shared node configuration
+  radio::LinkParams link;
+  std::size_t epochs{14};
+  std::uint64_t seed{1};
+};
+
+/// Factory producing one scheduler per node (owned by the runner for the
+/// duration of the experiment).
+using SchedulerFactory =
+    std::function<std::unique_ptr<node::Scheduler>(std::size_t node_index)>;
+
+/// Run a deployment: one sensor node per schedule, all in one simulator.
+[[nodiscard]] DeploymentOutcome run_deployment(
+    std::vector<contact::ContactSchedule> schedules,
+    const SchedulerFactory& make_scheduler, const DeploymentConfig& config);
+
+}  // namespace snipr::deploy

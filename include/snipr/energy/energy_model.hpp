@@ -1,0 +1,143 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "snipr/sim/time.hpp"
+
+/// \file energy_model.hpp
+/// Radio energy accounting.
+///
+/// The paper's primary overhead metric Φ is *radio-on time* (Table I), so
+/// seconds are the first-class unit throughout the library. This model adds
+/// the physical layer underneath: per-state supply currents for a
+/// TELOSB-class mote (CC2420 radio), letting every experiment also report
+/// Joules. Values default to the TELOSB/CC2420 datasheet operating points
+/// the paper's COOJA emulation would have exercised.
+
+namespace snipr::energy {
+
+/// Radio operating states. `kOff` covers both radio sleep and MCU sleep —
+/// the residual draw is lumped into one leakage current.
+enum class RadioState : std::size_t {
+  kOff = 0,
+  kListen = 1,
+  kTx = 2,
+  kRx = 3,
+};
+
+inline constexpr std::size_t kRadioStateCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(RadioState s) noexcept {
+  switch (s) {
+    case RadioState::kOff:
+      return "off";
+    case RadioState::kListen:
+      return "listen";
+    case RadioState::kTx:
+      return "tx";
+    case RadioState::kRx:
+      return "rx";
+  }
+  return "?";
+}
+
+/// Per-state supply currents and the supply voltage.
+struct EnergyModel {
+  double voltage_v{3.0};
+  /// Currents in amperes, indexed by RadioState.
+  std::array<double, kRadioStateCount> current_a{
+      2.1e-6,   // off: MCU + radio sleep leakage
+      18.8e-3,  // listen (CC2420 RX chain is on while listening)
+      17.4e-3,  // tx at 0 dBm
+      18.8e-3,  // rx
+  };
+
+  [[nodiscard]] double power_w(RadioState s) const noexcept {
+    return voltage_v * current_a[static_cast<std::size_t>(s)];
+  }
+
+  /// Energy drawn by `span` spent in state `s`, in Joules.
+  [[nodiscard]] double energy_j(RadioState s, sim::Duration span) const noexcept {
+    return power_w(s) * span.to_seconds();
+  }
+
+  /// TELOSB/CC2420 defaults (same as a default-constructed model).
+  [[nodiscard]] static EnergyModel telosb() noexcept { return {}; }
+};
+
+/// Integrates time spent per radio state along a simulation run.
+///
+/// Drive it with state transitions; it accumulates the closed interval for
+/// the state being left. `radio_on_time()` is Σ(listen+tx+rx) — the paper's
+/// Φ when the meter tracks only probing activity.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyModel model = EnergyModel::telosb(),
+                       RadioState initial = RadioState::kOff,
+                       sim::TimePoint at = sim::TimePoint::zero()) noexcept;
+
+  /// Switch state at time `at` (must be >= the previous transition).
+  void transition(RadioState to, sim::TimePoint at);
+
+  /// Close the open interval at `at` without changing state (end of run /
+  /// end of epoch snapshotting).
+  void flush(sim::TimePoint at);
+
+  /// Directly add `span` of state `s` without touching the open interval.
+  /// Use when an activity's duration is known at scheduling time (e.g. a
+  /// beacon of fixed airtime) — it avoids open intervals dated in the
+  /// future, which would break snapshotting at epoch boundaries.
+  void accumulate(RadioState s, sim::Duration span) noexcept;
+
+  [[nodiscard]] RadioState state() const noexcept { return state_; }
+  [[nodiscard]] sim::Duration time_in(RadioState s) const noexcept {
+    return accumulated_[static_cast<std::size_t>(s)];
+  }
+  /// Total time with the radio powered (listen + tx + rx).
+  [[nodiscard]] sim::Duration radio_on_time() const noexcept;
+  /// Total accumulated energy in Joules under the model.
+  [[nodiscard]] double energy_j() const noexcept;
+
+  [[nodiscard]] const EnergyModel& model() const noexcept { return model_; }
+
+  /// Zero the accumulators, keeping current state and model.
+  void reset(sim::TimePoint at) noexcept;
+
+ private:
+  EnergyModel model_;
+  RadioState state_;
+  sim::TimePoint last_transition_;
+  std::array<sim::Duration, kRadioStateCount> accumulated_{};
+};
+
+/// Per-epoch probing-energy budget (Φmax in the paper), tracked in
+/// radio-on seconds. Schedulers consult it before activating SNIP
+/// (condition 3 of SNIP-RH) and charge it for every probing wakeup.
+class ProbingBudget {
+ public:
+  /// `limit` may be Duration::max() for an unbounded budget.
+  explicit ProbingBudget(sim::Duration limit) noexcept;
+
+  /// Charge `cost` against the epoch budget. Over-consumption is allowed
+  /// (a wakeup in flight completes) and shows up as remaining() == 0.
+  void consume(sim::Duration cost) noexcept;
+
+  [[nodiscard]] sim::Duration limit() const noexcept { return limit_; }
+  [[nodiscard]] sim::Duration used() const noexcept { return used_; }
+  [[nodiscard]] sim::Duration remaining() const noexcept;
+  /// True when at least `cost` is still available.
+  [[nodiscard]] bool can_afford(sim::Duration cost) const noexcept;
+  [[nodiscard]] bool exhausted() const noexcept {
+    return remaining().is_zero();
+  }
+
+  /// New epoch: usage returns to zero.
+  void reset() noexcept { used_ = sim::Duration::zero(); }
+
+ private:
+  sim::Duration limit_;
+  sim::Duration used_{};
+};
+
+}  // namespace snipr::energy

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file rush_hour_gain.hpp
+/// The motivating analysis of Sec. IV (Fig. 4 of the paper).
+///
+/// With fixed-length contacts, rush hours of total length Trh and arrival
+/// frequency frh, off-hours of length Tother and frequency fother, and both
+/// duties in the linear regime, probing only during rush hours costs
+///   Φrh = Trh·d0 + Tother·fother·d0/frh
+/// versus SNIP-AT's ΦAT = (Trh + Tother)·d0 for the same probed capacity,
+/// giving the budget-independent ratio
+///   ΦAT/Φrh = 1 / (x + (1 − x)/y),  x = Trh/Tepoch, y = frh/fother.
+
+namespace snipr::model {
+
+/// Energy gain ΦAT/Φrh of probing only in rush hours.
+/// \param rush_fraction   x = Trh/Tepoch in (0, 1].
+/// \param frequency_ratio y = frh/fother, >= 1.
+[[nodiscard]] double rush_hour_gain(double rush_fraction,
+                                    double frequency_ratio);
+
+}  // namespace snipr::model

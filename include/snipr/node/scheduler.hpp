@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+
+#include "snipr/sim/time.hpp"
+
+/// \file scheduler.hpp
+/// The radio-scheduling seam of a sensor node.
+///
+/// The sensor node's CPU wakes periodically and asks its scheduler whether
+/// to carry out a SNIP probing wakeup now and when to check again
+/// (Sec. VI-B of the paper). Concrete policies — SNIP-AT, SNIP-OPT,
+/// SNIP-RH, adaptive variants — live in snipr::core; the node only knows
+/// this interface.
+
+namespace snipr::node {
+
+/// Snapshot handed to the scheduler at each CPU wakeup.
+struct SensorContext {
+  sim::TimePoint now;
+  double buffer_bytes{0.0};        ///< data currently buffered
+  sim::Duration budget_used{};     ///< probing radio-on time this epoch
+  sim::Duration budget_limit{};    ///< Φmax per epoch
+  std::int64_t epoch_index{0};
+};
+
+/// What the sensor observed about one successfully probed contact.
+struct ProbedContactObservation {
+  sim::TimePoint probe_time;          ///< both sides aware of each other
+  sim::Duration observed_probed_len;  ///< probe_time .. transfer end
+  double bytes_uploaded{0.0};
+  sim::Duration cycle_at_probe{};     ///< Tcycle in effect when probed
+  /// True when the transfer ended because the mobile node left range (the
+  /// observation spans the full Tprobed); false when the buffer drained
+  /// first (the observation is truncated).
+  bool saw_departure{true};
+};
+
+/// Scheduler verdict for one CPU wakeup.
+struct SchedulerDecision {
+  /// Perform one SNIP wakeup (radio on for Ton, beacon, listen) now.
+  bool probe{false};
+  /// Delay until the next CPU wakeup. After a probing wakeup this is
+  /// typically the SNIP cycle Tcycle = Ton/d; otherwise a coarser check
+  /// period. Must be positive.
+  sim::Duration next_wakeup{sim::Duration::seconds(1)};
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  Scheduler(Scheduler&&) = delete;
+  Scheduler& operator=(Scheduler&&) = delete;
+
+  /// Called at every CPU wakeup; decides whether to probe now.
+  [[nodiscard]] virtual SchedulerDecision on_wakeup(
+      const SensorContext& ctx) = 0;
+
+  /// Called after each successfully probed contact (learning hook).
+  virtual void on_contact_probed(const ProbedContactObservation& obs);
+
+  /// Called at each epoch boundary, before the budget resets.
+  virtual void on_epoch_start(std::int64_t epoch_index);
+
+  /// Human-readable policy name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace snipr::node

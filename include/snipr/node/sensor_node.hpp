@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "snipr/contact/contact.hpp"
+#include "snipr/energy/energy_model.hpp"
+#include "snipr/radio/channel.hpp"
+#include "snipr/node/data_buffer.hpp"
+#include "snipr/node/mobile_node.hpp"
+#include "snipr/node/scheduler.hpp"
+#include "snipr/sim/simulator.hpp"
+
+/// \file sensor_node.hpp
+/// The duty-cycled sensor node (Contiki-substitute state machine).
+///
+/// One SNIP probing wakeup (Sec. III):
+///   1. radio on, transmit a beacon (beacon_airtime);
+///   2. listen for a reply until Ton expires;
+///   3. on reply: the contact is probed — switch to a transfer session,
+///      uploading buffered data until the mobile leaves range or the
+///      buffer drains; then radio off;
+///   4. on no reply: radio off after Ton.
+///
+/// Probing overhead Φ is the radio-on time of steps 1-2 (charged against
+/// the per-epoch ProbingBudget); transfer airtime is metered separately,
+/// matching the paper's Table I definition of Φ.
+
+namespace snipr::node {
+
+/// Who initiates the probe during a wakeup window.
+enum class ProbingProtocol {
+  /// SNIP (the paper, Sec. III): the sensor beacons, the mobile replies.
+  kSnip,
+  /// MIP baseline ([15] in the paper): the sensor only listens; the
+  /// mobile broadcasts beacons every LinkParams::mobile_beacon_period
+  /// while in range, and the contact is probed when one lands wholly
+  /// inside the listen window.
+  kMip,
+};
+
+struct SensorNodeConfig {
+  /// Radio-on time per probing wakeup (SNIP's Ton).
+  sim::Duration ton{sim::Duration::milliseconds(20)};
+  /// Epoch length for budget/statistics (Tepoch).
+  sim::Duration epoch{sim::Duration::hours(24)};
+  /// Per-epoch probing-energy budget Φmax (radio-on time).
+  sim::Duration budget_limit{sim::Duration::max()};
+  /// Data generation rate, bytes/second.
+  double sensing_rate_bps{1.0};
+  /// Physical energy model for Joule reporting.
+  energy::EnergyModel energy_model{};
+  /// Probing protocol executed on each wakeup.
+  ProbingProtocol protocol{ProbingProtocol::kSnip};
+};
+
+/// Per-epoch outcome counters, snapshotted at each epoch boundary.
+struct EpochStats {
+  std::int64_t epoch_index{0};
+  sim::Duration phi{};             ///< probing radio-on time
+  sim::Duration zeta{};            ///< probed contact capacity (ground truth)
+  double bytes_uploaded{0.0};
+  std::uint64_t contacts_probed{0};
+  std::uint64_t wakeups{0};        ///< probing wakeups performed
+  double probing_energy_j{0.0};    ///< Joules spent probing
+  double transfer_energy_j{0.0};   ///< Joules spent transferring
+};
+
+/// Ground-truth record of one probed contact (for miss-ratio analysis).
+struct ProbedContactRecord {
+  contact::Contact contact;
+  sim::TimePoint probe_time;
+  double bytes_uploaded{0.0};
+};
+
+class SensorNode {
+ public:
+  /// All references must outlive the node. Call start() once before
+  /// running the simulator.
+  SensorNode(sim::Simulator& simulator, radio::Channel& channel, MobileNode& sink,
+             Scheduler& scheduler, SensorNodeConfig config);
+
+  /// Schedule the first CPU wakeup and the epoch-boundary bookkeeping.
+  void start();
+
+  [[nodiscard]] const SensorNodeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Epochs completed so far (snapshotted stats).
+  [[nodiscard]] const std::vector<EpochStats>& epoch_history() const noexcept {
+    return history_;
+  }
+  /// Counters for the epoch in progress.
+  [[nodiscard]] const EpochStats& current_epoch() const noexcept {
+    return current_;
+  }
+  /// Every successfully probed contact since start().
+  [[nodiscard]] const std::vector<ProbedContactRecord>& probed_contacts()
+      const noexcept {
+    return probed_;
+  }
+  [[nodiscard]] const FluidBuffer& buffer() const noexcept { return buffer_; }
+  /// Probing radio-on time in the current epoch (the budget meter).
+  [[nodiscard]] sim::Duration budget_used() const noexcept {
+    return budget_.used();
+  }
+
+ private:
+  void cpu_wakeup();
+  void schedule_next(sim::Duration delay);
+  void probing_wakeup();
+  void snip_wakeup();
+  void mip_wakeup();
+  /// `new_session` is false when re-beaconing inside an already-probed
+  /// contact (after an early buffer drain): more data may flow, but ζ,
+  /// contact counts and learning observations are not double-counted.
+  void begin_transfer(const contact::Contact& active, sim::TimePoint probe_time,
+                      sim::Duration cycle_hint, bool new_session);
+  void epoch_boundary();
+  [[nodiscard]] SensorContext make_context() const;
+
+  sim::Simulator& sim_;
+  radio::Channel& channel_;
+  MobileNode& sink_;
+  Scheduler& scheduler_;
+  SensorNodeConfig config_;
+
+  FluidBuffer buffer_;
+  energy::ProbingBudget budget_;
+  energy::EnergyMeter probing_meter_;
+  energy::EnergyMeter transfer_meter_;
+
+  EpochStats current_{};
+  std::vector<EpochStats> history_;
+  std::vector<ProbedContactRecord> probed_;
+  std::optional<sim::TimePoint> last_probed_arrival_{};
+  sim::Duration last_next_wakeup_{sim::Duration::seconds(1)};
+  double probing_j_mark_{0.0};
+  double transfer_j_mark_{0.0};
+  bool started_{false};
+};
+
+}  // namespace snipr::node

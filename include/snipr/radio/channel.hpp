@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "snipr/contact/schedule.hpp"
+#include "snipr/radio/link.hpp"
+#include "snipr/sim/rng.hpp"
+
+/// \file channel.hpp
+/// Contact-driven radio channel.
+///
+/// Geometry is abstracted by the contact schedule (Sec. II reference
+/// model): a frame between the sensor node and the mobile node can be
+/// delivered iff a contact covers the transmission. Frame loss is an
+/// independent Bernoulli draw per frame.
+
+namespace snipr::radio {
+
+class Channel {
+ public:
+  Channel(contact::ContactSchedule schedule, LinkParams link,
+          sim::Rng rng) noexcept;
+
+  [[nodiscard]] const contact::ContactSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] const LinkParams& link() const noexcept { return link_; }
+
+  /// Contact covering `t`, if any.
+  [[nodiscard]] std::optional<contact::Contact> active_contact(
+      sim::TimePoint t) const {
+    return schedule_.active_at(t);
+  }
+
+  /// True when a frame transmitted over [start, start+airtime) is
+  /// delivered: the receiver must be in range for the whole airtime and
+  /// the Bernoulli loss draw must pass. Mutates the RNG (one draw per call
+  /// made while in range), so call exactly once per frame.
+  [[nodiscard]] bool try_deliver(sim::TimePoint start, sim::Duration airtime);
+
+ private:
+  contact::ContactSchedule schedule_;
+  LinkParams link_;
+  sim::Rng rng_;
+};
+
+}  // namespace snipr::radio

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "snipr/sim/rng.hpp"
+
+/// \file distributions.hpp
+/// Portable sampling distributions used by contact processes.
+///
+/// All samplers draw only via Rng, so a fixed seed yields identical traces
+/// on every platform. Distributions over durations are expressed in seconds
+/// (double) and converted to Duration at the call site.
+
+namespace snipr::sim {
+
+/// Interface for a positive-valued distribution (contact lengths, intervals).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  Distribution() = default;
+  Distribution(const Distribution&) = delete;
+  Distribution& operator=(const Distribution&) = delete;
+  Distribution(Distribution&&) = delete;
+  Distribution& operator=(Distribution&&) = delete;
+
+  /// Draw one sample.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+  /// Analytic mean, used by planners that size duty-cycles.
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Deep copy (distributions are cheap value-like objects behind the
+  /// interface; cloning lets processes be copied for parameter sweeps).
+  [[nodiscard]] virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/// Always returns the same value.
+class FixedDistribution final : public Distribution {
+ public:
+  explicit FixedDistribution(double value);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Normal(mean, stddev) truncated to (lo, +inf) by resampling.
+///
+/// The paper's simulations (Sec. VII-A.2) draw both Tcontact and Tinterval
+/// from a normal with stddev = mean/10; truncation keeps samples positive.
+class TruncatedNormalDistribution final : public Distribution {
+ public:
+  TruncatedNormalDistribution(double mean, double stddev, double lo = 0.0);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+  double stddev_;
+  double lo_;
+};
+
+/// Exponential with the given mean (footnote 1 of the paper studies
+/// exponentially distributed contact lengths).
+class ExponentialDistribution final : public Distribution {
+ public:
+  explicit ExponentialDistribution(double mean);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+};
+
+/// Lognormal parameterised by its (arithmetic) mean and the sigma of the
+/// underlying normal. Used in distribution-robustness ablations.
+class LognormalDistribution final : public Distribution {
+ public:
+  LognormalDistribution(double mean, double sigma);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+  double sigma_;
+  double mu_;  // location of the underlying normal
+};
+
+/// Standard-normal variate via the Marsaglia polar method (portable).
+[[nodiscard]] double standard_normal(Rng& rng) noexcept;
+
+}  // namespace snipr::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "snipr/sim/time.hpp"
+
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event engine.
+
+namespace snipr::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Invalid sentinel (never returned by schedule()).
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Time-ordered queue of callbacks with O(log n) schedule/pop and
+/// O(1) lazy cancellation. Ties at equal timestamps run in schedule order
+/// (FIFO), which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(TimePoint at, Callback fn);
+
+  /// Cancel a pending event. Returns false if the event already ran,
+  /// was already cancelled, or was never scheduled.
+  bool cancel(EventId id);
+
+  /// Timestamp of the earliest pending (non-cancelled) event.
+  [[nodiscard]] std::optional<TimePoint> next_time() const;
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const;
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Pop the earliest event and return it; nullopt when empty.
+  struct Popped {
+    TimePoint at;
+    EventId id{kInvalidEventId};
+    Callback fn;
+  };
+  [[nodiscard]] std::optional<Popped> pop();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    bool operator>(const Entry& rhs) const noexcept {
+      if (at != rhs.at) return at > rhs.at;
+      return id > rhs.id;  // FIFO among equal timestamps
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // id -> callback; erased on cancel or pop. Present iff the event is live.
+  std::unordered_map<EventId, Callback> live_callbacks_;
+  EventId next_id_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace snipr::sim

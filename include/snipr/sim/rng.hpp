@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random source.
+///
+/// The engine is xoshiro256++ seeded via splitmix64. We implement the
+/// engine and all distributions ourselves (see distributions.hpp) so that
+/// simulation runs are bit-reproducible across standard libraries —
+/// `std::normal_distribution` and friends are not portable.
+
+namespace snipr::sim {
+
+/// xoshiro256++ engine with splitmix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid bias.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Split off an independent stream (for per-node RNGs).
+  [[nodiscard]] Rng fork() noexcept;
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace snipr::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file online_stats.hpp
+/// Numerically stable single-pass mean/variance (Welford's algorithm).
+
+namespace snipr::stats {
+
+class OnlineStats {
+ public:
+  void add(double sample) noexcept;
+  /// Merge another accumulator (parallel reduction of per-epoch stats).
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept;
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace snipr::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "snipr/contact/profile.hpp"
+#include "snipr/stats/histogram.hpp"
+
+/// \file demand.hpp
+/// Synthetic diurnal travel-demand profiles.
+///
+/// Fig. 3 of the paper motivates rush hours with the temporal distribution
+/// of travel demand at the Midpoint Bridge (Florida): a double-humped
+/// commuter curve with morning and evening peaks. That dataset is not
+/// redistributable, so we synthesise profiles with the same shape and use
+/// them to drive trace-based experiments. The substitution is documented in
+/// DESIGN.md; only the *shape* (two pronounced peaks over a low base) is
+/// load-bearing for the paper's argument.
+
+namespace snipr::trace {
+
+/// A relative demand weight per hour-of-day (24 entries, not normalised).
+using HourlyWeights = std::vector<double>;
+
+/// Double-peak commuter demand: base load overnight, shoulders through the
+/// day, pronounced peaks at the given hours.
+///
+/// \param morning_peak_hour  hour [0,24) of the morning maximum.
+/// \param evening_peak_hour  hour [0,24) of the evening maximum.
+/// \param peak_to_base       ratio of peak demand to overnight base (> 1).
+[[nodiscard]] HourlyWeights commuter_demand(std::size_t morning_peak_hour = 7,
+                                            std::size_t evening_peak_hour = 17,
+                                            double peak_to_base = 8.0);
+
+/// Convert hourly demand weights into an ArrivalProfile: the expected
+/// number of contacts per day is `contacts_per_day`, apportioned across
+/// hours proportionally to weight. Hours with zero weight become dead slots.
+[[nodiscard]] contact::ArrivalProfile demand_to_profile(
+    const HourlyWeights& weights, double contacts_per_day);
+
+/// Render demand weights as a 24-bin histogram (for Fig. 3-style output).
+[[nodiscard]] stats::Histogram demand_histogram(const HourlyWeights& weights);
+
+}  // namespace snipr::trace

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "snipr/contact/contact.hpp"
+
+/// \file one_format.hpp
+/// Importer for ONE-simulator connectivity reports.
+///
+/// The ONE DTN simulator's ConnectivityONEReport writes one event per
+/// line:
+///
+///     <time_s> CONN <host1> <host2> up|down
+///
+/// which is the de-facto interchange format for DTN contact traces.
+/// This importer extracts, for a chosen host (the sensor node), the
+/// contact intervals with every peer — giving real-world mobility
+/// datasets a direct path into the snipr pipeline (trace -> slot stats ->
+/// rush-hour mask -> SNIP-RH).
+
+namespace snipr::trace {
+
+/// Parse a ONE connectivity report and return the contacts of `host`
+/// (intervals between an `up` and the matching `down` involving it),
+/// sorted by arrival. Overlapping contacts with different peers are
+/// merged, matching the reference model's one-mobile-at-a-time channel.
+///
+/// Throws std::runtime_error (with a line number) on malformed input:
+/// non-numeric time, unknown direction, down-without-up, non-monotonic
+/// timestamps. An `up` without a `down` is closed at the last event time.
+[[nodiscard]] std::vector<contact::Contact> read_one_connectivity(
+    std::istream& is, const std::string& host);
+
+/// File variant; throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::vector<contact::Contact> read_one_connectivity_file(
+    const std::string& path, const std::string& host);
+
+}  // namespace snipr::trace

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "snipr/contact/contact.hpp"
+#include "snipr/contact/profile.hpp"
+
+/// \file slot_stats.hpp
+/// Per-slot statistics of a contact trace, and trace -> profile estimation.
+///
+/// These are the offline counterparts of what a sensor node learns online:
+/// given a recorded trace spanning one or more epochs, recover per-slot
+/// arrival rates, contact capacity, and the rush-hour ordering.
+
+namespace snipr::trace {
+
+struct SlotSummary {
+  std::size_t contact_count{0};
+  sim::Duration capacity{};       ///< Σ Tcontact of contacts in the slot
+  double mean_length_s{0.0};      ///< mean Tcontact (0 when empty)
+  double contacts_per_epoch{0.0}; ///< count / epochs observed
+  double est_mean_interval_s{0.0};///< slot_len / contacts_per_epoch (0 = dead)
+};
+
+class TraceSlotStats {
+ public:
+  /// Aggregate `contacts` into the slot grid of `layout`. The number of
+  /// observed epochs is inferred from the last departure (at least 1).
+  TraceSlotStats(const std::vector<contact::Contact>& contacts,
+                 const contact::ArrivalProfile& layout);
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return summaries_.size();
+  }
+  [[nodiscard]] const SlotSummary& slot(contact::SlotIndex s) const;
+  [[nodiscard]] std::int64_t epochs_observed() const noexcept {
+    return epochs_;
+  }
+
+  /// Slots ordered by decreasing observed contact count.
+  [[nodiscard]] std::vector<contact::SlotIndex> slots_by_count() const;
+
+  /// Estimated arrival profile (mean interval per slot) from the trace.
+  [[nodiscard]] contact::ArrivalProfile estimate_profile() const;
+
+ private:
+  contact::ArrivalProfile layout_;
+  std::vector<SlotSummary> summaries_;
+  std::int64_t epochs_{1};
+};
+
+}  // namespace snipr::trace

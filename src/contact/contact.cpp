@@ -1,0 +1,11 @@
+#include "snipr/contact/contact.hpp"
+
+namespace snipr::contact {
+
+sim::Duration total_capacity(const std::vector<Contact>& contacts) {
+  sim::Duration total = sim::Duration::zero();
+  for (const Contact& c : contacts) total += c.length;
+  return total;
+}
+
+}  // namespace snipr::contact

@@ -1,0 +1,100 @@
+#include "snipr/core/adaptive_snip_rh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snipr::core {
+
+AdaptiveSnipRh::AdaptiveSnipRh(sim::Duration epoch, std::size_t slot_count,
+                               AdaptiveSnipRhConfig config)
+    : config_{config},
+      learner_{epoch, slot_count, config.rush_slots, config.score_weight},
+      learn_probe_{config.learning_duty, config.rh.ton},
+      track_probe_{std::max(config.tracking_duty, 1e-9), config.rh.ton},
+      rh_{RushHourMask{epoch, slot_count}, config.rh} {
+  if (config.learning_epochs == 0) {
+    throw std::invalid_argument(
+        "AdaptiveSnipRh: need at least one learning epoch");
+  }
+}
+
+node::SchedulerDecision AdaptiveSnipRh::on_wakeup(
+    const node::SensorContext& ctx) {
+  if (learning_) {
+    const node::SchedulerDecision d = learn_probe_.on_wakeup(ctx);
+    if (d.probe) learner_.record_effort(ctx.now, config_.rh.ton);
+    return d;
+  }
+  // Exploit phase: SNIP-RH drives; the background tracker gets a probing
+  // wakeup whenever its (much longer) cycle has elapsed, keeping per-slot
+  // statistics flowing outside the mask ("SNIP-AT with a very very small
+  // duty-cycle", Sec. VII-B). Effort is logged per probing wakeup so the
+  // learner can rank slots by contact *rate* rather than biased counts.
+  if (config_.tracking_duty > 0.0 && ctx.now >= next_track_due_) {
+    const node::SchedulerDecision track = track_probe_.on_wakeup(ctx);
+    if (track.probe) {
+      next_track_due_ = ctx.now + track.next_wakeup;
+      learner_.record_effort(ctx.now, config_.rh.ton);
+      const node::SchedulerDecision rh = rh_.on_wakeup(ctx);
+      // Probe now (tracker), but wake again at the earlier of the two
+      // policies' next checks — never sooner than the Ton just spent.
+      return {.probe = true,
+              .next_wakeup = std::max(
+                  std::min(track.next_wakeup, rh.next_wakeup),
+                  config_.rh.ton)};
+    }
+  }
+  const node::SchedulerDecision rh = rh_.on_wakeup(ctx);
+  if (rh.probe) learner_.record_effort(ctx.now, config_.rh.ton);
+  if (config_.tracking_duty > 0.0) {
+    const sim::Duration until_track =
+        next_track_due_ > ctx.now ? next_track_due_ - ctx.now
+                                  : sim::Duration::seconds(1);
+    return {.probe = rh.probe,
+            .next_wakeup = std::min(rh.next_wakeup, until_track)};
+  }
+  return rh;
+}
+
+void AdaptiveSnipRh::on_contact_probed(
+    const node::ProbedContactObservation& obs) {
+  learner_.record_probe(obs.probe_time);
+  rh_.on_contact_probed(obs);
+}
+
+void AdaptiveSnipRh::on_epoch_start(std::int64_t /*epoch_index*/) {
+  learner_.finish_epoch();
+  if (learning_) {
+    if (learner_.epochs_observed() >= config_.learning_epochs) {
+      rh_.set_mask(learner_.mask());
+      learning_ = false;
+    }
+    return;
+  }
+  // Exploit phase: refresh the mask with hysteresis — an outsider slot
+  // must beat the weakest incumbent by the configured margin to enter.
+  const std::vector<double>& scores = learner_.scores();
+  RushHourMask mask = rh_.mask();
+  const double margin = 1.0 + config_.mask_hysteresis;
+  for (;;) {
+    std::size_t weakest = mask.slot_count();
+    std::size_t strongest = mask.slot_count();
+    for (std::size_t s = 0; s < mask.slot_count(); ++s) {
+      if (mask.is_rush_slot(s)) {
+        if (weakest == mask.slot_count() || scores[s] < scores[weakest]) {
+          weakest = s;
+        }
+      } else if (strongest == mask.slot_count() ||
+                 scores[s] > scores[strongest]) {
+        strongest = s;
+      }
+    }
+    if (weakest == mask.slot_count() || strongest == mask.slot_count()) break;
+    if (scores[strongest] <= scores[weakest] * margin + 1e-12) break;
+    mask.set(weakest, false);
+    mask.set(strongest, true);
+  }
+  rh_.set_mask(std::move(mask));
+}
+
+}  // namespace snipr::core

@@ -1,0 +1,101 @@
+#include "snipr/core/rush_hour_learner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace snipr::core {
+
+RushHourLearner::RushHourLearner(sim::Duration epoch, std::size_t slot_count,
+                                 std::size_t rush_slots, double epoch_weight,
+                                 double effort_prior_s)
+    : epoch_{epoch},
+      rush_slots_{rush_slots},
+      epoch_weight_{epoch_weight},
+      effort_prior_s_{effort_prior_s},
+      scores_(slot_count, 0.0),
+      current_counts_(slot_count, 0.0),
+      current_effort_s_(slot_count, 0.0) {
+  if (effort_prior_s < 0.0) {
+    throw std::invalid_argument(
+        "RushHourLearner: effort prior must be >= 0");
+  }
+  if (!(epoch > sim::Duration::zero())) {
+    throw std::invalid_argument("RushHourLearner: epoch must be positive");
+  }
+  if (slot_count == 0) {
+    throw std::invalid_argument("RushHourLearner: need at least one slot");
+  }
+  if (rush_slots == 0 || rush_slots > slot_count) {
+    throw std::invalid_argument(
+        "RushHourLearner: rush_slots must be in [1, slot_count]");
+  }
+  if (!(epoch_weight > 0.0) || epoch_weight > 1.0) {
+    throw std::invalid_argument(
+        "RushHourLearner: epoch_weight must be in (0, 1]");
+  }
+  if (epoch_.count() % static_cast<std::int64_t>(slot_count) != 0) {
+    throw std::invalid_argument(
+        "RushHourLearner: epoch must divide evenly into slots");
+  }
+}
+
+std::size_t RushHourLearner::slot_index(sim::TimePoint t) const noexcept {
+  const std::int64_t slot_us =
+      epoch_.count() / static_cast<std::int64_t>(scores_.size());
+  const std::int64_t into_epoch =
+      ((t.count() % epoch_.count()) + epoch_.count()) % epoch_.count();
+  return static_cast<std::size_t>(into_epoch / slot_us);
+}
+
+void RushHourLearner::record_probe(sim::TimePoint t) {
+  ++current_counts_[slot_index(t)];
+}
+
+void RushHourLearner::record_effort(sim::TimePoint t,
+                                    sim::Duration radio_on) {
+  current_effort_s_[slot_index(t)] += radio_on.to_seconds();
+}
+
+void RushHourLearner::finish_epoch() {
+  double total_effort = 0.0;
+  for (const double e : current_effort_s_) total_effort += e;
+  const bool effort_mode = total_effort > 0.0;
+
+  for (std::size_t s = 0; s < scores_.size(); ++s) {
+    double sample = 0.0;
+    if (effort_mode) {
+      if (current_effort_s_[s] <= 0.0) continue;  // no information: hold
+      sample =
+          current_counts_[s] / (current_effort_s_[s] + effort_prior_s_);
+    } else {
+      sample = current_counts_[s];
+    }
+    if (!scores_initialised_) {
+      scores_[s] = sample;
+    } else {
+      scores_[s] += epoch_weight_ * (sample - scores_[s]);
+    }
+  }
+  scores_initialised_ = true;
+  std::fill(current_counts_.begin(), current_counts_.end(), 0.0);
+  std::fill(current_effort_s_.begin(), current_effort_s_.end(), 0.0);
+  ++epochs_;
+}
+
+std::vector<contact::SlotIndex> RushHourLearner::slots_by_score() const {
+  std::vector<contact::SlotIndex> order(scores_.size());
+  std::iota(order.begin(), order.end(), contact::SlotIndex{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](contact::SlotIndex a, contact::SlotIndex b) {
+                     return scores_[a] > scores_[b];
+                   });
+  return order;
+}
+
+RushHourMask RushHourLearner::mask() const {
+  return RushHourMask::top_k(epoch_, scores_.size(), slots_by_score(),
+                             rush_slots_);
+}
+
+}  // namespace snipr::core

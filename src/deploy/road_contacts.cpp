@@ -1,0 +1,89 @@
+#include "snipr/deploy/road_contacts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "snipr/contact/process.hpp"
+
+namespace snipr::deploy {
+
+std::vector<VehicleEntry> materialize_vehicles(const VehicleFlow& flow,
+                                               sim::Duration horizon,
+                                               sim::Rng& rng) {
+  if (flow.speed_mps == nullptr) {
+    throw std::invalid_argument(
+        "materialize_vehicles: speed distribution required");
+  }
+  // Entry *times* reuse the slot-renewal generator; the placeholder
+  // contact length is discarded.
+  contact::IntervalContactProcess entries{
+      flow.profile, std::make_unique<sim::FixedDistribution>(1e-6),
+      flow.jitter};
+  std::vector<VehicleEntry> vehicles;
+  const sim::TimePoint end = sim::TimePoint::zero() + horizon;
+  for (;;) {
+    const auto c = entries.next(rng);
+    if (!c.has_value() || c->arrival >= end) break;
+    vehicles.push_back(VehicleEntry{c->arrival, flow.speed_mps->sample(rng)});
+  }
+  return vehicles;
+}
+
+std::vector<contact::ContactSchedule> build_road_schedules(
+    const std::vector<double>& positions_m, double range_m,
+    const std::vector<VehicleEntry>& vehicles) {
+  if (positions_m.empty()) {
+    throw std::invalid_argument("build_road_schedules: no node positions");
+  }
+  if (!(range_m > 0.0)) {
+    throw std::invalid_argument("build_road_schedules: range must be > 0");
+  }
+  for (const double x : positions_m) {
+    if (x < 0.0) {
+      throw std::invalid_argument(
+          "build_road_schedules: positions must be >= 0");
+    }
+  }
+  for (const VehicleEntry& v : vehicles) {
+    if (!(v.speed_mps > 0.0)) {
+      throw std::invalid_argument(
+          "build_road_schedules: vehicle speeds must be > 0");
+    }
+  }
+
+  std::vector<contact::ContactSchedule> out;
+  out.reserve(positions_m.size());
+  for (const double x : positions_m) {
+    std::vector<contact::Contact> raw;
+    raw.reserve(vehicles.size());
+    for (const VehicleEntry& v : vehicles) {
+      const double start_s = std::max(0.0, x - range_m) / v.speed_mps;
+      const double end_s = (x + range_m) / v.speed_mps;
+      const sim::TimePoint arrival =
+          v.entry + sim::Duration::seconds(start_s);
+      const sim::Duration length = sim::Duration::seconds(end_s - start_s);
+      if (length > sim::Duration::zero()) {
+        raw.push_back(contact::Contact{arrival, length});
+      }
+    }
+    std::sort(raw.begin(), raw.end(),
+              [](const contact::Contact& a, const contact::Contact& b) {
+                return a.arrival < b.arrival;
+              });
+    // Merge overlapping passes into single contacts.
+    std::vector<contact::Contact> merged;
+    for (const contact::Contact& c : raw) {
+      if (!merged.empty() && c.arrival < merged.back().departure()) {
+        const sim::TimePoint span_end =
+            std::max(merged.back().departure(), c.departure());
+        merged.back().length = span_end - merged.back().arrival;
+      } else {
+        merged.push_back(c);
+      }
+    }
+    out.emplace_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace snipr::deploy

@@ -1,0 +1,17 @@
+#include "snipr/model/rush_hour_gain.hpp"
+
+#include <stdexcept>
+
+namespace snipr::model {
+
+double rush_hour_gain(double rush_fraction, double frequency_ratio) {
+  if (!(rush_fraction > 0.0) || rush_fraction > 1.0) {
+    throw std::invalid_argument("rush_hour_gain: rush_fraction in (0, 1]");
+  }
+  if (!(frequency_ratio >= 1.0)) {
+    throw std::invalid_argument("rush_hour_gain: frequency_ratio must be >= 1");
+  }
+  return 1.0 / (rush_fraction + (1.0 - rush_fraction) / frequency_ratio);
+}
+
+}  // namespace snipr::model

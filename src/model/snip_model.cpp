@@ -1,0 +1,110 @@
+#include "snipr/model/snip_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snipr::model {
+namespace {
+
+void check_positive(double value, const char* name) {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument(std::string{name} + " must be > 0");
+  }
+}
+
+}  // namespace
+
+double expected_probed_time(double l_s, double tcycle_s) {
+  check_positive(tcycle_s, "tcycle");
+  if (l_s <= 0.0) return 0.0;
+  if (tcycle_s >= l_s) {
+    // A wakeup lands inside the contact with probability l/Tcycle, and the
+    // hit point is uniform over the contact: E = (l/Tcycle)·(l/2).
+    return l_s * l_s / (2.0 * tcycle_s);
+  }
+  // A wakeup always lands inside; the wait to the first one is uniform
+  // over the cycle: E = l − Tcycle/2.
+  return l_s - tcycle_s / 2.0;
+}
+
+double upsilon_fixed(double duty, double tcontact_s, double ton_s) {
+  check_positive(tcontact_s, "tcontact");
+  check_positive(ton_s, "ton");
+  if (duty <= 0.0) return 0.0;
+  const double d = std::min(duty, 1.0);
+  const double tcycle = ton_s / d;
+  return expected_probed_time(tcontact_s, tcycle) / tcontact_s;
+}
+
+double knee_duty(double tcontact_s, double ton_s) {
+  check_positive(tcontact_s, "tcontact");
+  check_positive(ton_s, "ton");
+  return std::min(1.0, ton_s / tcontact_s);
+}
+
+std::optional<double> duty_for_upsilon_fixed(double upsilon, double tcontact_s,
+                                             double ton_s) {
+  check_positive(tcontact_s, "tcontact");
+  check_positive(ton_s, "ton");
+  if (upsilon <= 0.0) return 0.0;
+  const double max_upsilon = upsilon_fixed(1.0, tcontact_s, ton_s);
+  if (upsilon > max_upsilon) return std::nullopt;
+  if (upsilon <= 0.5) {
+    // Linear branch: Υ = Tcontact·d/(2·Ton).
+    const double d = upsilon * 2.0 * ton_s / tcontact_s;
+    if (d <= 1.0) return d;
+    // Ton >= Tcontact keeps the linear branch all the way to d = 1; the
+    // max_upsilon check above already rejected unreachable values.
+    return 1.0;
+  }
+  // Saturating branch: Υ = 1 − Ton/(2·d·Tcontact).
+  return ton_s / (2.0 * tcontact_s * (1.0 - upsilon));
+}
+
+double upsilon_exponential(double duty, double mean_s, double ton_s) {
+  check_positive(mean_s, "mean contact length");
+  check_positive(ton_s, "ton");
+  if (duty <= 0.0) return 0.0;
+  const double d = std::min(duty, 1.0);
+  const double t = ton_s / d;  // Tcycle
+  const double a = t / mean_s;
+  // E[Tprobed] = ∫_0^T l²/(2T) f(l) dl + ∫_T^∞ (l − T/2) f(l) dl for
+  // f exponential with mean μ:
+  //   first term  = μ²(2 − e^{−a}(a² + 2a + 2)) / (2T)
+  //   second term = e^{−a}(μ(a + 1) − T/2)
+  const double ea = std::exp(-a);
+  const double first =
+      mean_s * mean_s * (2.0 - ea * (a * a + 2.0 * a + 2.0)) / (2.0 * t);
+  const double second = ea * (mean_s * (a + 1.0) - t / 2.0);
+  return (first + second) / mean_s;
+}
+
+double upsilon_monte_carlo(double duty, const sim::Distribution& length,
+                           double ton_s, std::size_t samples, sim::Rng& rng) {
+  check_positive(ton_s, "ton");
+  if (samples == 0) {
+    throw std::invalid_argument("upsilon_monte_carlo: samples must be > 0");
+  }
+  if (duty <= 0.0) return 0.0;
+  const double tcycle = ton_s / std::min(duty, 1.0);
+  double probed = 0.0;
+  double capacity = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double l = length.sample(rng);
+    probed += expected_probed_time(l, tcycle);
+    capacity += l;
+  }
+  return capacity > 0.0 ? probed / capacity : 0.0;
+}
+
+double unit_cost(double duty, double rate_per_s, double tcontact_s,
+                 double ton_s) {
+  check_positive(rate_per_s, "rate");
+  check_positive(duty, "duty");
+  const double upsilon = upsilon_fixed(duty, tcontact_s, ton_s);
+  // Φ per second of slot time = d; ζ per second = f·Tcontact·Υ.
+  return std::min(duty, 1.0) / (rate_per_s * tcontact_s * upsilon);
+}
+
+}  // namespace snipr::model

@@ -1,0 +1,36 @@
+#include "snipr/node/data_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snipr::node {
+
+FluidBuffer::FluidBuffer(double rate_bps) : rate_bps_{rate_bps} {
+  if (rate_bps < 0.0) {
+    throw std::invalid_argument("FluidBuffer: rate must be >= 0");
+  }
+}
+
+double FluidBuffer::produced(sim::TimePoint t) const noexcept {
+  return rate_bps_ * t.to_seconds();
+}
+
+double FluidBuffer::available(sim::TimePoint t) const noexcept {
+  return std::max(0.0, produced(t) - uploaded_);
+}
+
+double FluidBuffer::take(sim::TimePoint t, double amount) noexcept {
+  const double granted = std::clamp(amount, 0.0, available(t));
+  if (granted > 0.0 && rate_bps_ > 0.0) {
+    const double mean_gen_time_s = (uploaded_ + granted / 2.0) / rate_bps_;
+    latency_byteseconds_ += granted * (t.to_seconds() - mean_gen_time_s);
+  }
+  uploaded_ += granted;
+  return granted;
+}
+
+double FluidBuffer::mean_delivery_latency_s() const noexcept {
+  return uploaded_ > 0.0 ? latency_byteseconds_ / uploaded_ : 0.0;
+}
+
+}  // namespace snipr::node

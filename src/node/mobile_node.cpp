@@ -1,0 +1,12 @@
+#include "snipr/node/mobile_node.hpp"
+
+namespace snipr::node {
+
+void MobileNode::deliver(double bytes, sim::TimePoint at,
+                         bool new_contact) noexcept {
+  bytes_ += bytes;
+  if (new_contact) ++contacts_;
+  last_ = at;
+}
+
+}  // namespace snipr::node

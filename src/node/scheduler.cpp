@@ -1,0 +1,9 @@
+#include "snipr/node/scheduler.hpp"
+
+namespace snipr::node {
+
+void Scheduler::on_contact_probed(const ProbedContactObservation& /*obs*/) {}
+
+void Scheduler::on_epoch_start(std::int64_t /*epoch_index*/) {}
+
+}  // namespace snipr::node

@@ -1,0 +1,251 @@
+#include "snipr/node/sensor_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snipr::node {
+
+namespace {
+using energy::RadioState;
+}  // namespace
+
+SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+                       MobileNode& sink, Scheduler& scheduler,
+                       SensorNodeConfig config)
+    : sim_{simulator},
+      channel_{channel},
+      sink_{sink},
+      scheduler_{scheduler},
+      config_{config},
+      buffer_{config.sensing_rate_bps},
+      budget_{config.budget_limit},
+      probing_meter_{config.energy_model, RadioState::kOff, simulator.now()},
+      transfer_meter_{config.energy_model, RadioState::kOff, simulator.now()} {
+  if (!(config.ton > sim::Duration::zero())) {
+    throw std::invalid_argument("SensorNode: ton must be positive");
+  }
+  if (!(config.epoch > sim::Duration::zero())) {
+    throw std::invalid_argument("SensorNode: epoch must be positive");
+  }
+}
+
+void SensorNode::start() {
+  if (started_) throw std::logic_error("SensorNode::start called twice");
+  started_ = true;
+  current_.epoch_index = 0;
+  sim_.schedule_at(sim_.now(), [this] { cpu_wakeup(); });
+  sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
+}
+
+SensorContext SensorNode::make_context() const {
+  SensorContext ctx;
+  ctx.now = sim_.now();
+  ctx.buffer_bytes = buffer_.available(ctx.now);
+  ctx.budget_used = budget_.used();
+  ctx.budget_limit = budget_.limit();
+  ctx.epoch_index = current_.epoch_index;
+  return ctx;
+}
+
+void SensorNode::schedule_next(sim::Duration delay) {
+  sim_.schedule_after(delay, [this] { cpu_wakeup(); });
+}
+
+void SensorNode::cpu_wakeup() {
+  const SchedulerDecision decision = scheduler_.on_wakeup(make_context());
+  if (!(decision.next_wakeup > sim::Duration::zero())) {
+    throw std::logic_error("Scheduler returned a non-positive next_wakeup");
+  }
+  last_next_wakeup_ = decision.next_wakeup;
+  if (decision.probe) {
+    probing_wakeup();  // schedules the next CPU wakeup itself
+  } else {
+    schedule_next(decision.next_wakeup);
+  }
+}
+
+void SensorNode::probing_wakeup() {
+  ++current_.wakeups;
+  if (config_.protocol == ProbingProtocol::kMip) {
+    mip_wakeup();
+  } else {
+    snip_wakeup();
+  }
+}
+
+void SensorNode::snip_wakeup() {
+  const sim::TimePoint t0 = sim_.now();
+  const radio::LinkParams& link = channel_.link();
+
+  // Beacon transmission. The exchange resolves synchronously: the only
+  // parties are this node and (at most) the one mobile node in range, so
+  // outcomes can be computed now and only the *end* of the activity needs
+  // a future event. Meters use duration accumulation rather than open
+  // intervals so an epoch boundary inside the window stays consistent.
+  const sim::TimePoint beacon_end = t0 + link.beacon_airtime;
+  const sim::TimePoint listen_end = t0 + config_.ton;
+
+  bool probed = false;
+  sim::TimePoint reply_end = beacon_end + link.reply_airtime;
+  if (reply_end <= listen_end && channel_.try_deliver(t0, link.beacon_airtime) &&
+      channel_.try_deliver(beacon_end, link.reply_airtime)) {
+    probed = true;
+  }
+
+  probing_meter_.accumulate(RadioState::kTx, link.beacon_airtime);
+  if (!probed) {
+    // Listen out the rest of Ton, then sleep. Full Ton charged to Φ.
+    probing_meter_.accumulate(RadioState::kListen,
+                              listen_end - beacon_end);
+    budget_.consume(config_.ton);
+    current_.phi += config_.ton;
+    // The radio is busy until listen_end: the next wakeup can never come
+    // sooner than one Ton, whatever the scheduler asked for.
+    schedule_next(std::max(last_next_wakeup_, config_.ton));
+    return;
+  }
+
+  // Reply received: contact probed at reply_end. Probing cost is only the
+  // exchange up to awareness; the transfer session is metered separately.
+  probing_meter_.accumulate(RadioState::kRx, link.reply_airtime);
+  const sim::Duration probe_cost = reply_end - t0;
+  budget_.consume(probe_cost);
+  current_.phi += probe_cost;
+
+  const auto active = channel_.active_contact(t0);
+  if (!active.has_value()) {
+    throw std::logic_error("probed without an active contact");
+  }
+  const bool new_session = last_probed_arrival_ != active->arrival;
+  last_probed_arrival_ = active->arrival;
+  begin_transfer(*active, reply_end, last_next_wakeup_, new_session);
+}
+
+void SensorNode::mip_wakeup() {
+  const sim::TimePoint t0 = sim_.now();
+  const radio::LinkParams& link = channel_.link();
+  const sim::TimePoint listen_end = t0 + config_.ton;
+
+  // MIP: the sensor only listens; the mobile beacons every
+  // mobile_beacon_period while in range. Candidate contact: the one in
+  // range now, else the first arriving inside the listen window.
+  std::optional<contact::Contact> cand = channel_.active_contact(t0);
+  if (!cand.has_value()) {
+    const auto next = channel_.schedule().next_arrival_at_or_after(t0);
+    if (next.has_value() && next->arrival < listen_end) cand = next;
+  }
+
+  bool probed = false;
+  sim::TimePoint aware = t0;
+  if (cand.has_value()) {
+    const std::int64_t period = link.mobile_beacon_period.count();
+    // First mobile beacon at or after max(t0, arrival).
+    const sim::TimePoint from = std::max(t0, cand->arrival);
+    const std::int64_t offset = from.count() - cand->arrival.count();
+    std::int64_t k = (offset + period - 1) / period;
+    for (;; ++k) {
+      const sim::TimePoint b =
+          cand->arrival + link.mobile_beacon_period * k;
+      if (b + link.beacon_airtime > std::min(listen_end, cand->departure())) {
+        break;  // no more beacons fit the window
+      }
+      // Beacon (mobile -> sensor) then the sensor's acknowledgement; the
+      // sensor stretches its on-time to finish the handshake if needed.
+      const sim::TimePoint ack_end =
+          b + link.beacon_airtime + link.reply_airtime;
+      if (channel_.try_deliver(b, link.beacon_airtime) &&
+          ack_end <= cand->departure() &&
+          channel_.try_deliver(b + link.beacon_airtime,
+                               link.reply_airtime)) {
+        probed = true;
+        aware = ack_end;
+        probing_meter_.accumulate(RadioState::kListen, b - t0);
+        probing_meter_.accumulate(RadioState::kRx, link.beacon_airtime);
+        probing_meter_.accumulate(RadioState::kTx, link.reply_airtime);
+        break;
+      }
+    }
+  }
+
+  if (!probed) {
+    probing_meter_.accumulate(RadioState::kListen, config_.ton);
+    budget_.consume(config_.ton);
+    current_.phi += config_.ton;
+    schedule_next(std::max(last_next_wakeup_, config_.ton));
+    return;
+  }
+
+  const sim::Duration probe_cost = aware - t0;
+  budget_.consume(probe_cost);
+  current_.phi += probe_cost;
+  const bool new_session = last_probed_arrival_ != cand->arrival;
+  last_probed_arrival_ = cand->arrival;
+  begin_transfer(*cand, aware, last_next_wakeup_, new_session);
+}
+
+void SensorNode::begin_transfer(const contact::Contact& active,
+                                sim::TimePoint probe_time,
+                                sim::Duration cycle_hint, bool new_session) {
+  const double rate = channel_.link().data_rate_bps;
+  const double backlog = buffer_.available(probe_time);
+
+  // Fluid drain: the buffer refills at the sensing rate while uploading at
+  // the link rate. With rate <= sensing the transfer only ends at departure.
+  sim::TimePoint transfer_end = active.departure();
+  bool saw_departure = true;
+  if (rate > buffer_.rate_bps()) {
+    const double drain_s = backlog / (rate - buffer_.rate_bps());
+    const sim::TimePoint drained = probe_time + sim::Duration::seconds(drain_s);
+    if (drained < transfer_end) {
+      transfer_end = drained;
+      saw_departure = false;
+    }
+  }
+
+  if (new_session) {
+    // Ground-truth probed capacity is Tprobed = departure − awareness,
+    // independent of how much of it the transfer used (Table I).
+    current_.zeta += active.departure() - probe_time;
+    ++current_.contacts_probed;
+  }
+
+  const sim::Duration cycle = cycle_hint;
+  sim_.schedule_at(transfer_end, [this, active, probe_time, transfer_end,
+                                  saw_departure, rate, cycle, new_session] {
+    // Metered on completion; a transfer straddling an epoch boundary is
+    // attributed to the epoch in which it ends, like its bytes.
+    transfer_meter_.accumulate(RadioState::kTx, transfer_end - probe_time);
+    const double duration_s = (transfer_end - probe_time).to_seconds();
+    const double bytes = buffer_.take(transfer_end, rate * duration_s);
+    current_.bytes_uploaded += bytes;
+    sink_.deliver(bytes, transfer_end, new_session);
+    if (new_session) {
+      probed_.push_back(ProbedContactRecord{active, probe_time, bytes});
+      ProbedContactObservation obs;
+      obs.probe_time = probe_time;
+      obs.observed_probed_len = transfer_end - probe_time;
+      obs.bytes_uploaded = bytes;
+      obs.cycle_at_probe = cycle;
+      obs.saw_departure = saw_departure;
+      scheduler_.on_contact_probed(obs);
+    }
+    schedule_next(last_next_wakeup_);
+  });
+}
+
+void SensorNode::epoch_boundary() {
+  current_.probing_energy_j = probing_meter_.energy_j() - probing_j_mark_;
+  current_.transfer_energy_j = transfer_meter_.energy_j() - transfer_j_mark_;
+  probing_j_mark_ = probing_meter_.energy_j();
+  transfer_j_mark_ = transfer_meter_.energy_j();
+
+  history_.push_back(current_);
+
+  current_ = EpochStats{};
+  current_.epoch_index = history_.back().epoch_index + 1;
+  budget_.reset();
+  scheduler_.on_epoch_start(current_.epoch_index);
+  sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
+}
+
+}  // namespace snipr::node

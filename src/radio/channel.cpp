@@ -1,0 +1,19 @@
+#include "snipr/radio/channel.hpp"
+
+#include <utility>
+
+namespace snipr::radio {
+
+Channel::Channel(contact::ContactSchedule schedule, LinkParams link,
+                 sim::Rng rng) noexcept
+    : schedule_{std::move(schedule)}, link_{link}, rng_{rng} {}
+
+bool Channel::try_deliver(sim::TimePoint start, sim::Duration airtime) {
+  const auto active = schedule_.active_at(start);
+  if (!active.has_value()) return false;
+  if (start + airtime > active->departure()) return false;
+  if (link_.frame_loss > 0.0 && rng_.bernoulli(link_.frame_loss)) return false;
+  return true;
+}
+
+}  // namespace snipr::radio

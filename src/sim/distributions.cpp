@@ -1,0 +1,90 @@
+#include "snipr/sim/distributions.hpp"
+
+#include <cmath>
+
+namespace snipr::sim {
+
+double standard_normal(Rng& rng) noexcept {
+  // Marsaglia polar method; portable and branch-simple. We deliberately do
+  // not cache the second variate so sampling stays stateless.
+  for (;;) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+FixedDistribution::FixedDistribution(double value) : value_{value} {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument("FixedDistribution: value must be > 0");
+  }
+}
+
+double FixedDistribution::sample(Rng& /*rng*/) const { return value_; }
+
+std::unique_ptr<Distribution> FixedDistribution::clone() const {
+  return std::make_unique<FixedDistribution>(value_);
+}
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mean,
+                                                         double stddev,
+                                                         double lo)
+    : mean_{mean}, stddev_{stddev}, lo_{lo} {
+  if (!(mean > lo)) {
+    throw std::invalid_argument(
+        "TruncatedNormalDistribution: mean must exceed the lower bound");
+  }
+  if (!(stddev >= 0.0)) {
+    throw std::invalid_argument(
+        "TruncatedNormalDistribution: stddev must be >= 0");
+  }
+}
+
+double TruncatedNormalDistribution::sample(Rng& rng) const {
+  // With the paper's stddev = mean/10 the truncation probability is ~1e-23,
+  // so resampling is effectively free and leaves the mean untouched.
+  for (;;) {
+    const double x = mean_ + stddev_ * standard_normal(rng);
+    if (x > lo_) return x;
+  }
+}
+
+std::unique_ptr<Distribution> TruncatedNormalDistribution::clone() const {
+  return std::make_unique<TruncatedNormalDistribution>(mean_, stddev_, lo_);
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_{mean} {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("ExponentialDistribution: mean must be > 0");
+  }
+}
+
+double ExponentialDistribution::sample(Rng& rng) const {
+  // Inverse CDF; 1 - uniform() avoids log(0).
+  return -mean_ * std::log(1.0 - rng.uniform());
+}
+
+std::unique_ptr<Distribution> ExponentialDistribution::clone() const {
+  return std::make_unique<ExponentialDistribution>(mean_);
+}
+
+LognormalDistribution::LognormalDistribution(double mean, double sigma)
+    : mean_{mean}, sigma_{sigma}, mu_{std::log(mean) - 0.5 * sigma * sigma} {
+  if (!(mean > 0.0) || !(sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "LognormalDistribution: mean must be > 0 and sigma >= 0");
+  }
+}
+
+double LognormalDistribution::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * standard_normal(rng));
+}
+
+std::unique_ptr<Distribution> LognormalDistribution::clone() const {
+  return std::make_unique<LognormalDistribution>(mean_, sigma_);
+}
+
+}  // namespace snipr::sim

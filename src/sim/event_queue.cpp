@@ -1,0 +1,51 @@
+#include "snipr/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace snipr::sim {
+
+EventId EventQueue::schedule(TimePoint at, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  live_callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = live_callbacks_.find(id);
+  if (it == live_callbacks_.end()) return false;
+  live_callbacks_.erase(it);
+  --live_;
+  // The heap entry stays behind and is skipped lazily on pop/next_time.
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() &&
+         live_callbacks_.find(heap_.top().id) == live_callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+std::optional<TimePoint> EventQueue::next_time() const {
+  drop_cancelled_head();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().at;
+}
+
+bool EventQueue::empty() const { return live_ == 0; }
+
+std::optional<EventQueue::Popped> EventQueue::pop() {
+  drop_cancelled_head();
+  if (heap_.empty()) return std::nullopt;
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_callbacks_.find(top.id);
+  Popped out{top.at, top.id, std::move(it->second)};
+  live_callbacks_.erase(it);
+  --live_;
+  return out;
+}
+
+}  // namespace snipr::sim

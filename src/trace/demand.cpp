@@ -1,0 +1,80 @@
+#include "snipr/trace/demand.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace snipr::trace {
+namespace {
+
+constexpr std::size_t kHours = 24;
+
+}  // namespace
+
+HourlyWeights commuter_demand(std::size_t morning_peak_hour,
+                              std::size_t evening_peak_hour,
+                              double peak_to_base) {
+  if (morning_peak_hour >= kHours || evening_peak_hour >= kHours) {
+    throw std::invalid_argument("commuter_demand: peak hours must be < 24");
+  }
+  if (!(peak_to_base > 1.0)) {
+    throw std::invalid_argument("commuter_demand: peak_to_base must be > 1");
+  }
+  // Base load + two Gaussian bumps (sigma ~1.2 h) over the hour-of-day
+  // circle; daytime shoulder keeps midday above the overnight base, like
+  // the Midpoint Bridge curve in Fig. 3 of the paper.
+  HourlyWeights w(kHours, 1.0);
+  const double amplitude = peak_to_base - 1.0;
+  const double sigma = 1.2;
+  auto circular_gap = [](double a, double b) {
+    const double d = std::fabs(a - b);
+    return std::min(d, 24.0 - d);
+  };
+  for (std::size_t h = 0; h < kHours; ++h) {
+    const auto hour = static_cast<double>(h);
+    const double gm = circular_gap(hour, static_cast<double>(morning_peak_hour));
+    const double ge = circular_gap(hour, static_cast<double>(evening_peak_hour));
+    const double bumps = std::exp(-gm * gm / (2.0 * sigma * sigma)) +
+                         std::exp(-ge * ge / (2.0 * sigma * sigma));
+    // Daytime shoulder between 6:00 and 21:00.
+    const double shoulder = (h >= 6 && h <= 21) ? 0.25 * amplitude : 0.0;
+    w[h] = 1.0 + amplitude * bumps + shoulder;
+  }
+  return w;
+}
+
+contact::ArrivalProfile demand_to_profile(const HourlyWeights& weights,
+                                          double contacts_per_day) {
+  if (weights.size() != kHours) {
+    throw std::invalid_argument("demand_to_profile: need 24 hourly weights");
+  }
+  if (!(contacts_per_day > 0.0)) {
+    throw std::invalid_argument(
+        "demand_to_profile: contacts_per_day must be > 0");
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("demand_to_profile: all weights are zero");
+  }
+  std::vector<double> intervals(kHours, contact::ArrivalProfile::kNoContacts);
+  for (std::size_t h = 0; h < kHours; ++h) {
+    if (weights[h] <= 0.0) continue;
+    const double contacts_this_hour = contacts_per_day * weights[h] / total;
+    intervals[h] = 3600.0 / contacts_this_hour;
+  }
+  return contact::ArrivalProfile{sim::Duration::hours(24),
+                                 std::move(intervals)};
+}
+
+stats::Histogram demand_histogram(const HourlyWeights& weights) {
+  if (weights.size() != kHours) {
+    throw std::invalid_argument("demand_histogram: need 24 hourly weights");
+  }
+  stats::Histogram h{0.0, 24.0, kHours};
+  for (std::size_t hour = 0; hour < kHours; ++hour) {
+    h.add(static_cast<double>(hour) + 0.5, weights[hour]);
+  }
+  return h;
+}
+
+}  // namespace snipr::trace

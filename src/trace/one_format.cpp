@@ -1,0 +1,104 @@
+#include "snipr/trace/one_format.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace snipr::trace {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("ONE report line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+std::vector<contact::Contact> read_one_connectivity(std::istream& is,
+                                                    const std::string& host) {
+  std::string line;
+  std::size_t line_no = 0;
+  double last_time = 0.0;
+  // Open contact per peer: peer -> up time.
+  std::map<std::string, double> open;
+  std::vector<contact::Contact> contacts;
+
+  auto close = [&](const std::string& peer, double up_s, double down_s,
+                   std::size_t at_line) {
+    if (down_s < up_s) fail(at_line, "down precedes up for " + peer);
+    if (down_s == up_s) return;  // zero-length contact: drop
+    contacts.push_back(contact::Contact{
+        sim::TimePoint::zero() + sim::Duration::seconds(up_s),
+        sim::Duration::seconds(down_s - up_s)});
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    std::string time_s;
+    std::string tag;
+    std::string h1;
+    std::string h2;
+    std::string direction;
+    if (!(fields >> time_s >> tag >> h1 >> h2 >> direction)) {
+      fail(line_no, "expected '<time> CONN <h1> <h2> up|down'");
+    }
+    if (tag != "CONN") continue;  // other report types interleave: skip
+    double t = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(time_s.data(), time_s.data() + time_s.size(), t);
+    if (ec != std::errc{} || ptr != time_s.data() + time_s.size()) {
+      fail(line_no, "bad timestamp '" + time_s + "'");
+    }
+    if (t < last_time) fail(line_no, "timestamps must be non-decreasing");
+    last_time = t;
+    if (h1 != host && h2 != host) continue;
+    const std::string peer = h1 == host ? h2 : h1;
+    if (direction == "up") {
+      open[peer] = t;  // re-up of an open contact keeps the earlier start
+    } else if (direction == "down") {
+      const auto it = open.find(peer);
+      if (it == open.end()) {
+        fail(line_no, "down without up for peer " + peer);
+      }
+      close(peer, it->second, t, line_no);
+      open.erase(it);
+    } else {
+      fail(line_no, "unknown direction '" + direction + "'");
+    }
+  }
+  // Close dangling contacts at the last observed time.
+  for (const auto& [peer, up_s] : open) {
+    close(peer, up_s, last_time, line_no);
+  }
+
+  std::sort(contacts.begin(), contacts.end(),
+            [](const contact::Contact& a, const contact::Contact& b) {
+              return a.arrival < b.arrival;
+            });
+  // Merge overlaps across peers (one-mobile-at-a-time channel model).
+  std::vector<contact::Contact> merged;
+  for (const contact::Contact& c : contacts) {
+    if (!merged.empty() && c.arrival < merged.back().departure()) {
+      const sim::TimePoint span_end =
+          std::max(merged.back().departure(), c.departure());
+      merged.back().length = span_end - merged.back().arrival;
+    } else {
+      merged.push_back(c);
+    }
+  }
+  return merged;
+}
+
+std::vector<contact::Contact> read_one_connectivity_file(
+    const std::string& path, const std::string& host) {
+  std::ifstream is{path};
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_one_connectivity(is, host);
+}
+
+}  // namespace snipr::trace

@@ -1,0 +1,89 @@
+#include "snipr/contact/roadside.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snipr/stats/online_stats.hpp"
+
+namespace snipr::contact {
+namespace {
+
+std::unique_ptr<sim::Distribution> fixed(double v) {
+  return std::make_unique<sim::FixedDistribution>(v);
+}
+
+TEST(RoadsideGeometry, CentrePassIsDiameterOverSpeed) {
+  // R = 10 m at 10 m/s through the centre -> the paper's 2 s contact.
+  const RoadsideGeometry g{10.0, fixed(10.0)};
+  sim::Rng rng{1};
+  EXPECT_DOUBLE_EQ(g.sample_contact_length_s(rng), 2.0);
+  EXPECT_DOUBLE_EQ(g.mean_contact_length_s(), 2.0);
+}
+
+TEST(RoadsideGeometry, FasterMobilesShortenContacts) {
+  const RoadsideGeometry slow{10.0, fixed(5.0)};
+  const RoadsideGeometry fast{10.0, fixed(20.0)};
+  EXPECT_DOUBLE_EQ(slow.mean_contact_length_s(), 4.0);
+  EXPECT_DOUBLE_EQ(fast.mean_contact_length_s(), 1.0);
+}
+
+TEST(RoadsideGeometry, OffsetShortensChord) {
+  const RoadsideGeometry g{10.0, fixed(10.0), 8.0};
+  sim::Rng rng{2};
+  for (int i = 0; i < 1000; ++i) {
+    const double l = g.sample_contact_length_s(rng);
+    EXPECT_GT(l, 0.0);
+    EXPECT_LE(l, 2.0);  // never longer than the diameter pass
+    EXPECT_GE(l, 2.0 * std::sqrt(100.0 - 64.0) / 10.0);  // chord at max offset
+  }
+}
+
+TEST(RoadsideGeometry, MeanMatchesMonteCarlo) {
+  const RoadsideGeometry g{10.0, fixed(10.0), 9.0};
+  sim::Rng rng{3};
+  stats::OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(g.sample_contact_length_s(rng));
+  EXPECT_NEAR(s.mean(), g.mean_contact_length_s(), 0.01);
+}
+
+TEST(RoadsideGeometry, AsLengthDistributionIsConsistent) {
+  const RoadsideGeometry g{10.0, fixed(10.0), 5.0};
+  const auto dist = g.as_length_distribution();
+  EXPECT_NEAR(dist->mean(), g.mean_contact_length_s(), 1e-12);
+  sim::Rng rng{4};
+  stats::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(dist->sample(rng));
+  EXPECT_NEAR(s.mean(), g.mean_contact_length_s(), 0.01);
+}
+
+TEST(RoadsideGeometry, CloneOfAdapterWorks) {
+  const RoadsideGeometry g{10.0, fixed(10.0)};
+  const auto dist = g.as_length_distribution();
+  const auto copy = dist->clone();
+  sim::Rng rng{5};
+  EXPECT_DOUBLE_EQ(copy->sample(rng), 2.0);
+}
+
+TEST(RoadsideGeometry, VariableSpeedsSpreadLengths) {
+  // Urban mix: 5..15 m/s uniform-ish via truncated normal.
+  const RoadsideGeometry g{
+      10.0, std::make_unique<sim::TruncatedNormalDistribution>(10.0, 2.0, 1.0)};
+  sim::Rng rng{6};
+  stats::OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(g.sample_contact_length_s(rng));
+  EXPECT_GT(s.stddev(), 0.1);
+  EXPECT_NEAR(s.mean(), 2.0, 0.2);  // E[1/v] slightly above 1/E[v]
+}
+
+TEST(RoadsideGeometry, Validation) {
+  EXPECT_THROW(RoadsideGeometry(0.0, fixed(10.0)), std::invalid_argument);
+  EXPECT_THROW(RoadsideGeometry(10.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(RoadsideGeometry(10.0, fixed(10.0), 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(RoadsideGeometry(10.0, fixed(10.0), -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::contact

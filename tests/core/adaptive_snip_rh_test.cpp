@@ -1,0 +1,126 @@
+#include "snipr/core/adaptive_snip_rh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::core {
+namespace {
+
+using node::ProbedContactObservation;
+using node::SensorContext;
+using sim::Duration;
+using sim::TimePoint;
+
+SensorContext make_ctx(double hours, double buffer = 1e6) {
+  SensorContext ctx;
+  ctx.now = TimePoint::zero() + Duration::seconds(hours * 3600.0);
+  ctx.buffer_bytes = buffer;
+  ctx.budget_used = Duration::zero();
+  ctx.budget_limit = Duration::max();
+  return ctx;
+}
+
+ProbedContactObservation probe_at(double hours) {
+  ProbedContactObservation obs;
+  obs.probe_time = TimePoint::zero() + Duration::seconds(hours * 3600.0);
+  obs.observed_probed_len = Duration::seconds(1.0);
+  obs.cycle_at_probe = Duration::seconds(2);
+  obs.bytes_uploaded = 100.0;
+  obs.saw_departure = true;
+  return obs;
+}
+
+AdaptiveSnipRhConfig quick_config() {
+  AdaptiveSnipRhConfig cfg;
+  cfg.learning_epochs = 2;
+  cfg.rush_slots = 2;
+  cfg.tracking_duty = 0.0;  // keep most tests deterministic
+  return cfg;
+}
+
+TEST(AdaptiveSnipRh, StartsInLearningModeProbingEverywhere) {
+  AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
+  EXPECT_TRUE(sched.learning());
+  // Learning phase = SNIP-AT: probes outside any rush hours too.
+  const auto d = sched.on_wakeup(make_ctx(3.0));
+  EXPECT_TRUE(d.probe);
+  // Learning duty 0.001 -> 20 s cycle.
+  EXPECT_EQ(d.next_wakeup, Duration::seconds(20));
+}
+
+TEST(AdaptiveSnipRh, AdoptsLearnedMaskAfterLearningEpochs) {
+  AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
+  for (int day = 0; day < 2; ++day) {
+    for (int i = 0; i < 12; ++i) {
+      sched.on_contact_probed(probe_at(day * 24 + 7.5));
+      sched.on_contact_probed(probe_at(day * 24 + 17.5));
+    }
+    sched.on_contact_probed(probe_at(day * 24 + 3.5));
+    sched.on_epoch_start(day + 1);
+  }
+  EXPECT_FALSE(sched.learning());
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(7));
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(17));
+  EXPECT_FALSE(sched.current_mask().is_rush_slot(3));
+  // Exploit phase behaves like SNIP-RH: no probing off-peak...
+  EXPECT_FALSE(sched.on_wakeup(make_ctx(100 * 24 + 3.0)).probe);
+  // ...probing inside learned rush hours.
+  EXPECT_TRUE(sched.on_wakeup(make_ctx(100 * 24 + 7.5)).probe);
+}
+
+TEST(AdaptiveSnipRh, TracksSeasonalShift) {
+  AdaptiveSnipRhConfig cfg = quick_config();
+  cfg.score_weight = 0.5;
+  AdaptiveSnipRh sched{Duration::hours(24), 24, cfg};
+  // Learn {7, 17} first.
+  for (int day = 0; day < 2; ++day) {
+    for (int i = 0; i < 12; ++i) {
+      sched.on_contact_probed(probe_at(day * 24 + 7.5));
+      sched.on_contact_probed(probe_at(day * 24 + 17.5));
+    }
+    sched.on_epoch_start(day + 1);
+  }
+  ASSERT_TRUE(sched.current_mask().is_rush_slot(7));
+  // The pattern shifts two hours later for a week.
+  for (int day = 2; day < 9; ++day) {
+    for (int i = 0; i < 12; ++i) {
+      sched.on_contact_probed(probe_at(day * 24 + 9.5));
+      sched.on_contact_probed(probe_at(day * 24 + 19.5));
+    }
+    sched.on_epoch_start(day + 1);
+  }
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(9));
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(19));
+  EXPECT_FALSE(sched.current_mask().is_rush_slot(7));
+}
+
+TEST(AdaptiveSnipRh, BackgroundTrackerProbesOffPeak) {
+  AdaptiveSnipRhConfig cfg = quick_config();
+  cfg.tracking_duty = 0.0001;
+  AdaptiveSnipRh sched{Duration::hours(24), 24, cfg};
+  for (int day = 0; day < 2; ++day) {
+    sched.on_contact_probed(probe_at(day * 24 + 7.5));
+    sched.on_epoch_start(day + 1);
+  }
+  ASSERT_FALSE(sched.learning());
+  // First off-peak wakeup after the switch: the tracker is due.
+  const auto d = sched.on_wakeup(make_ctx(10 * 24 + 3.0));
+  EXPECT_TRUE(d.probe);
+  // Immediately after, the tracker is not due for ~Ton/0.0001 = 200 s.
+  const auto d2 = sched.on_wakeup(make_ctx(10 * 24 + 3.0 + 1.0 / 3600.0));
+  EXPECT_FALSE(d2.probe);
+}
+
+TEST(AdaptiveSnipRh, NameReflectsVariant) {
+  AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
+  EXPECT_EQ(sched.name(), "SNIP-RH/adaptive");
+}
+
+TEST(AdaptiveSnipRh, Validation) {
+  AdaptiveSnipRhConfig bad = quick_config();
+  bad.learning_epochs = 0;
+  EXPECT_THROW((AdaptiveSnipRh{Duration::hours(24), 24, bad}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::core

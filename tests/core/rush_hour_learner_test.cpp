@@ -1,0 +1,112 @@
+#include "snipr/core/rush_hour_learner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_h(double hours) {
+  return TimePoint::zero() + Duration::seconds(hours * 3600.0);
+}
+
+RushHourLearner make_learner(std::size_t rush_slots = 4) {
+  return RushHourLearner{Duration::hours(24), 24, rush_slots};
+}
+
+void feed_epoch(RushHourLearner& learner, double day,
+                const std::vector<std::pair<double, int>>& hour_counts) {
+  for (const auto& [hour, count] : hour_counts) {
+    for (int i = 0; i < count; ++i) {
+      learner.record_probe(at_h(day * 24.0 + hour));
+    }
+  }
+  learner.finish_epoch();
+}
+
+TEST(RushHourLearner, RecoversGroundTruthMask) {
+  RushHourLearner learner = make_learner();
+  for (int day = 0; day < 3; ++day) {
+    feed_epoch(learner, day,
+               {{7.5, 12}, {8.5, 12}, {17.5, 12}, {18.5, 12}, {3.5, 2},
+                {12.5, 2}});
+  }
+  EXPECT_EQ(learner.epochs_observed(), 3U);
+  const RushHourMask mask = learner.mask();
+  EXPECT_TRUE(mask.is_rush_slot(7));
+  EXPECT_TRUE(mask.is_rush_slot(8));
+  EXPECT_TRUE(mask.is_rush_slot(17));
+  EXPECT_TRUE(mask.is_rush_slot(18));
+  EXPECT_EQ(mask.rush_slot_count(), 4U);
+}
+
+TEST(RushHourLearner, OrderOnlyMattersNotMagnitude) {
+  // The paper: "a sensor node only needs to learn the order of these
+  // time-slots' contact capacity". Even two probes vs one suffice.
+  RushHourLearner learner = make_learner(1);
+  feed_epoch(learner, 0, {{9.5, 2}, {14.5, 1}});
+  EXPECT_TRUE(learner.mask().is_rush_slot(9));
+  EXPECT_EQ(learner.mask().rush_slot_count(), 1U);
+}
+
+TEST(RushHourLearner, ScoresSmoothAcrossEpochs) {
+  RushHourLearner learner{Duration::hours(24), 24, 4, /*epoch_weight=*/0.5};
+  feed_epoch(learner, 0, {{7.5, 10}});
+  EXPECT_DOUBLE_EQ(learner.scores()[7], 10.0);  // first epoch initialises
+  feed_epoch(learner, 1, {{7.5, 20}});
+  EXPECT_DOUBLE_EQ(learner.scores()[7], 15.0);  // 10 + 0.5·(20−10)
+}
+
+TEST(RushHourLearner, TracksShiftedPattern) {
+  // Rush hours move from {7,8} to {9,10}; with weight 0.5 the ranking
+  // flips after a couple of shifted epochs.
+  RushHourLearner learner{Duration::hours(24), 24, 2, 0.5};
+  for (int day = 0; day < 3; ++day) {
+    feed_epoch(learner, day, {{7.5, 12}, {8.5, 12}, {3.5, 2}});
+  }
+  EXPECT_TRUE(learner.mask().is_rush_slot(7));
+  for (int day = 3; day < 8; ++day) {
+    feed_epoch(learner, day, {{9.5, 12}, {10.5, 12}, {3.5, 2}});
+  }
+  const RushHourMask mask = learner.mask();
+  EXPECT_TRUE(mask.is_rush_slot(9));
+  EXPECT_TRUE(mask.is_rush_slot(10));
+  EXPECT_FALSE(mask.is_rush_slot(7));
+}
+
+TEST(RushHourLearner, SlotsByScoreStableTies) {
+  RushHourLearner learner = make_learner();
+  feed_epoch(learner, 0, {{5.5, 3}, {11.5, 3}});
+  const auto order = learner.slots_by_score();
+  EXPECT_EQ(order[0], 5U);   // tie broken by index
+  EXPECT_EQ(order[1], 11U);
+}
+
+TEST(RushHourLearner, EpochsWrapIntoSameSlots) {
+  RushHourLearner learner = make_learner(1);
+  learner.record_probe(at_h(7.5));
+  learner.record_probe(at_h(24.0 + 7.5));
+  learner.record_probe(at_h(48.0 + 7.5));
+  learner.finish_epoch();
+  EXPECT_DOUBLE_EQ(learner.scores()[7], 3.0);
+}
+
+TEST(RushHourLearner, Validation) {
+  EXPECT_THROW((RushHourLearner{Duration::zero(), 24, 4}),
+               std::invalid_argument);
+  EXPECT_THROW((RushHourLearner{Duration::hours(24), 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((RushHourLearner{Duration::hours(24), 24, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((RushHourLearner{Duration::hours(24), 24, 25}),
+               std::invalid_argument);
+  EXPECT_THROW((RushHourLearner{Duration::hours(24), 24, 4, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((RushHourLearner{Duration::hours(24), 7, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::core

@@ -1,0 +1,98 @@
+#include "snipr/core/snip_opt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::core {
+namespace {
+
+using node::SensorContext;
+using sim::Duration;
+using sim::TimePoint;
+
+SensorContext at_hour(double hours, Duration used = Duration::zero(),
+                      Duration limit = Duration::max()) {
+  SensorContext ctx;
+  ctx.now = TimePoint::zero() + Duration::seconds(hours * 3600.0);
+  ctx.budget_used = used;
+  ctx.budget_limit = limit;
+  return ctx;
+}
+
+std::vector<double> plan_with_two_active_slots() {
+  std::vector<double> duties(24, 0.0);
+  duties[7] = 0.01;
+  duties[17] = 0.002;
+  return duties;
+}
+
+TEST(SnipOpt, ProbesWithPerSlotCycle) {
+  SnipOpt opt{plan_with_two_active_slots(), Duration::hours(24),
+              Duration::milliseconds(20)};
+  auto d = opt.on_wakeup(at_hour(7.5));
+  EXPECT_TRUE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::seconds(2));  // 0.02/0.01
+  d = opt.on_wakeup(at_hour(17.5));
+  EXPECT_TRUE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::seconds(10));  // 0.02/0.002
+}
+
+TEST(SnipOpt, IdleSlotSleepsToNextActiveSlot) {
+  SnipOpt opt{plan_with_two_active_slots(), Duration::hours(24),
+              Duration::milliseconds(20)};
+  const auto d = opt.on_wakeup(at_hour(9.0));
+  EXPECT_FALSE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::hours(8));  // 9:00 -> 17:00
+}
+
+TEST(SnipOpt, IdleSlotWrapsToNextEpoch) {
+  SnipOpt opt{plan_with_two_active_slots(), Duration::hours(24),
+              Duration::milliseconds(20)};
+  const auto d = opt.on_wakeup(at_hour(20.0));
+  EXPECT_FALSE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::hours(11));  // 20:00 -> 7:00 next day
+}
+
+TEST(SnipOpt, BudgetExhaustionSleepsToEpochEnd) {
+  SnipOpt opt{plan_with_two_active_slots(), Duration::hours(24),
+              Duration::milliseconds(20)};
+  const auto d = opt.on_wakeup(
+      at_hour(7.5, Duration::seconds(10), Duration::seconds(10)));
+  EXPECT_FALSE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::seconds(16.5 * 3600.0));  // to 24:00
+}
+
+TEST(SnipOpt, AllZeroPlanSleepsOneEpoch) {
+  SnipOpt opt{std::vector<double>(24, 0.0), Duration::hours(24),
+              Duration::milliseconds(20)};
+  const auto d = opt.on_wakeup(at_hour(3.0));
+  EXPECT_FALSE(d.probe);
+  EXPECT_EQ(d.next_wakeup, Duration::hours(24));
+}
+
+TEST(SnipOpt, DutiesAccessor) {
+  const auto plan = plan_with_two_active_slots();
+  SnipOpt opt{plan, Duration::hours(24), Duration::milliseconds(20)};
+  EXPECT_EQ(opt.duties(), plan);
+  EXPECT_EQ(opt.name(), "SNIP-OPT");
+}
+
+TEST(SnipOpt, Validation) {
+  EXPECT_THROW(SnipOpt(std::vector<double>{}, Duration::hours(24),
+                       Duration::milliseconds(20)),
+               std::invalid_argument);
+  EXPECT_THROW(SnipOpt(std::vector<double>{1.5}, Duration::hours(24),
+                       Duration::milliseconds(20)),
+               std::invalid_argument);
+  EXPECT_THROW(SnipOpt(std::vector<double>{-0.1}, Duration::hours(24),
+                       Duration::milliseconds(20)),
+               std::invalid_argument);
+  EXPECT_THROW(SnipOpt(std::vector<double>(7, 0.1), Duration::hours(24),
+                       Duration::milliseconds(20)),
+               std::invalid_argument);
+  EXPECT_THROW(SnipOpt(std::vector<double>(24, 0.1), Duration::hours(24),
+                       Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::core

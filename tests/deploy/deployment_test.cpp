@@ -1,0 +1,108 @@
+#include "snipr/deploy/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/deploy/road_contacts.hpp"
+
+namespace snipr::deploy {
+namespace {
+
+using sim::Duration;
+
+std::vector<contact::ContactSchedule> two_day_schedules(
+    const std::vector<double>& positions, std::uint64_t seed = 2) {
+  VehicleFlow flow;
+  flow.jitter = contact::IntervalJitter::kNormalTenth;
+  sim::Rng rng{seed};
+  const auto vehicles =
+      materialize_vehicles(flow, Duration::hours(24) * 2, rng);
+  return build_road_schedules(positions, 10.0, vehicles);
+}
+
+SchedulerFactory rh_factory() {
+  return [](std::size_t) {
+    return std::make_unique<core::SnipRh>(
+        core::RushHourMask::from_hours({7, 8, 17, 18}),
+        core::SnipRhConfig{});
+  };
+}
+
+DeploymentConfig quick_config() {
+  DeploymentConfig cfg;
+  cfg.epochs = 2;
+  cfg.node.budget_limit = Duration::seconds(864.0);
+  cfg.node.sensing_rate_bps = 1e6;  // no data gating
+  return cfg;
+}
+
+TEST(Deployment, PerNodeOutcomesMatchSingleNodeBehaviour) {
+  const auto out = run_deployment(two_day_schedules({100.0, 5000.0}),
+                                  rh_factory(), quick_config());
+  ASSERT_EQ(out.nodes.size(), 2U);
+  for (const NodeOutcome& n : out.nodes) {
+    EXPECT_EQ(n.scheduler_name, "SNIP-RH");
+    EXPECT_EQ(n.epochs, 2U);
+    // Knee-duty RH over rush hours probes roughly half the ~96 s rush
+    // capacity at each node.
+    EXPECT_GT(n.mean_zeta_s, 30.0);
+    EXPECT_LT(n.mean_zeta_s, 60.0);
+    EXPECT_GT(n.mean_phi_s, 50.0);
+  }
+}
+
+TEST(Deployment, AggregatesSumPerNodeValues) {
+  const auto out = run_deployment(two_day_schedules({100.0, 900.0, 4200.0}),
+                                  rh_factory(), quick_config());
+  double sum = 0.0;
+  for (const NodeOutcome& n : out.nodes) sum += n.mean_zeta_s;
+  EXPECT_NEAR(out.total_zeta_s, sum, 1e-9);
+  EXPECT_GE(out.max_zeta_s, out.min_zeta_s);
+  EXPECT_GT(out.zeta_fairness, 0.9);  // same flow: nearly even service
+  EXPECT_LE(out.zeta_fairness, 1.0 + 1e-12);
+}
+
+TEST(Deployment, NodesShareTheVehicleFlow) {
+  // With deterministic vehicles, every node sees the same number of
+  // contacts (offset in time, merged identically).
+  VehicleFlow flow;
+  flow.jitter = contact::IntervalJitter::kNone;
+  sim::Rng rng{5};
+  const auto vehicles = materialize_vehicles(flow, Duration::hours(24), rng);
+  const auto schedules =
+      build_road_schedules({100.0, 2500.0, 7000.0}, 10.0, vehicles);
+  for (const auto& s : schedules) {
+    EXPECT_EQ(s.size(), vehicles.size());
+  }
+}
+
+TEST(Deployment, DeterministicAcrossRuns) {
+  const auto a = run_deployment(two_day_schedules({100.0, 5000.0}, 9),
+                                rh_factory(), quick_config());
+  const auto b = run_deployment(two_day_schedules({100.0, 5000.0}, 9),
+                                rh_factory(), quick_config());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes[i].mean_zeta_s, b.nodes[i].mean_zeta_s);
+    EXPECT_DOUBLE_EQ(a.nodes[i].mean_phi_s, b.nodes[i].mean_phi_s);
+  }
+}
+
+TEST(Deployment, Validation) {
+  EXPECT_THROW(
+      (void)run_deployment({}, rh_factory(), quick_config()),
+      std::invalid_argument);
+  EXPECT_THROW((void)run_deployment(two_day_schedules({100.0}), nullptr,
+                                    quick_config()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)run_deployment(two_day_schedules({100.0}),
+                           [](std::size_t) {
+                             return std::unique_ptr<node::Scheduler>{};
+                           },
+                           quick_config()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::deploy

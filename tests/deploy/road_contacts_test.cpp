@@ -1,0 +1,124 @@
+#include "snipr/deploy/road_contacts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::deploy {
+namespace {
+
+using contact::Contact;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+TEST(MaterializeVehicles, FollowsProfileCounts) {
+  VehicleFlow flow;
+  flow.jitter = contact::IntervalJitter::kNone;
+  sim::Rng rng{1};
+  const auto vehicles =
+      materialize_vehicles(flow, Duration::hours(24) * 2, rng);
+  // Road-side profile: 87 entries on day 1 (start-up transient), 88 after.
+  EXPECT_EQ(vehicles.size(), 87U + 88U);
+  for (const VehicleEntry& v : vehicles) {
+    EXPECT_DOUBLE_EQ(v.speed_mps, 10.0);  // fixed default speed
+  }
+}
+
+TEST(MaterializeVehicles, RequiresSpeedDistribution) {
+  VehicleFlow flow;
+  flow.speed_mps = nullptr;
+  sim::Rng rng{1};
+  EXPECT_THROW((void)materialize_vehicles(flow, Duration::hours(1), rng),
+               std::invalid_argument);
+}
+
+TEST(BuildRoadSchedules, GeometryOfASinglePass) {
+  // Node at x = 1000 m, R = 10 m, one vehicle entering at t = 0 at 10 m/s:
+  // in range over [99, 101) seconds — the paper's 2 s contact.
+  const std::vector<VehicleEntry> vehicles{{at_s(0), 10.0}};
+  const auto schedules = build_road_schedules({1000.0}, 10.0, vehicles);
+  ASSERT_EQ(schedules.size(), 1U);
+  ASSERT_EQ(schedules[0].size(), 1U);
+  const Contact c = schedules[0].contacts().front();
+  EXPECT_EQ(c.arrival, at_s(99.0));
+  EXPECT_EQ(c.length, Duration::seconds(2.0));
+}
+
+TEST(BuildRoadSchedules, DownstreamNodesSeeLaterShorterOrEqualContacts) {
+  const std::vector<VehicleEntry> vehicles{{at_s(0), 20.0}};
+  const auto schedules =
+      build_road_schedules({100.0, 500.0, 2000.0}, 10.0, vehicles);
+  ASSERT_EQ(schedules.size(), 3U);
+  TimePoint prev = TimePoint::zero();
+  for (const auto& s : schedules) {
+    ASSERT_EQ(s.size(), 1U);
+    const Contact c = s.contacts().front();
+    EXPECT_GT(c.arrival, prev);  // same vehicle reaches them in order
+    EXPECT_EQ(c.length, Duration::seconds(1.0));  // 2R/v = 20/20
+    prev = c.arrival;
+  }
+}
+
+TEST(BuildRoadSchedules, NodeInsideInitialRangeClampsToEntry) {
+  // Node at x = 5 < R = 10: the vehicle is in range from the entry itself.
+  const std::vector<VehicleEntry> vehicles{{at_s(100), 10.0}};
+  const auto schedules = build_road_schedules({5.0}, 10.0, vehicles);
+  const Contact c = schedules[0].contacts().front();
+  EXPECT_EQ(c.arrival, at_s(100));
+  EXPECT_EQ(c.departure(), at_s(101.5));  // (5+10)/10 s after entry
+}
+
+TEST(BuildRoadSchedules, TailgatingVehiclesMergeIntoOneContact) {
+  // Two vehicles 1 s apart; each pass lasts 2 s at the node -> overlap.
+  const std::vector<VehicleEntry> vehicles{{at_s(0), 10.0},
+                                           {at_s(1), 10.0}};
+  const auto schedules = build_road_schedules({1000.0}, 10.0, vehicles);
+  ASSERT_EQ(schedules[0].size(), 1U);
+  const Contact c = schedules[0].contacts().front();
+  EXPECT_EQ(c.arrival, at_s(99.0));
+  EXPECT_EQ(c.departure(), at_s(102.0));  // union of [99,101) and [100,102)
+}
+
+TEST(BuildRoadSchedules, SlowerVehiclesYieldLongerContacts) {
+  const std::vector<VehicleEntry> vehicles{{at_s(0), 5.0}, {at_s(500), 20.0}};
+  const auto schedules = build_road_schedules({1000.0}, 10.0, vehicles);
+  ASSERT_EQ(schedules[0].size(), 2U);
+  EXPECT_EQ(schedules[0].contacts()[0].length, Duration::seconds(4.0));
+  EXPECT_EQ(schedules[0].contacts()[1].length, Duration::seconds(1.0));
+}
+
+TEST(BuildRoadSchedules, RushHourStructureSurvivesPropagation) {
+  // Full flow over two days: each node's per-slot counts still show the
+  // 6x rush/off ratio (travel offset is seconds, slots are hours).
+  VehicleFlow flow;
+  flow.jitter = contact::IntervalJitter::kNormalTenth;
+  sim::Rng rng{3};
+  const auto vehicles =
+      materialize_vehicles(flow, Duration::hours(24) * 4, rng);
+  const auto schedules =
+      build_road_schedules({100.0, 5000.0}, 10.0, vehicles);
+  for (const auto& s : schedules) {
+    const auto counts = s.count_by_slot(contact::ArrivalProfile::roadside());
+    const double rush =
+        static_cast<double>(counts[7] + counts[8] + counts[17] + counts[18]);
+    const double off = static_cast<double>(counts[0] + counts[1] +
+                                           counts[2] + counts[3]);
+    EXPECT_GT(rush, off * 3.0);
+  }
+}
+
+TEST(BuildRoadSchedules, Validation) {
+  const std::vector<VehicleEntry> ok{{at_s(0), 10.0}};
+  EXPECT_THROW((void)build_road_schedules({}, 10.0, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_road_schedules({100.0}, 0.0, ok),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_road_schedules({-5.0}, 10.0, ok),
+               std::invalid_argument);
+  const std::vector<VehicleEntry> bad{{at_s(0), 0.0}};
+  EXPECT_THROW((void)build_road_schedules({100.0}, 10.0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::deploy

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_opt.hpp"
+#include "snipr/core/snip_rh.hpp"
+
+/// End-to-end checks of the feasibility boundaries published in
+/// Sec. VII-A of the paper (Figs. 5-8). Analysis-level assertions are
+/// exact; simulation-level assertions allow the variance the paper itself
+/// reports ("there is a lot of variance in simulation results").
+
+namespace snipr::core {
+namespace {
+
+class PaperBoundaries : public ::testing::Test {
+ protected:
+  RoadsideScenario sc;
+  model::EpochModel model = sc.make_model();
+};
+
+TEST_F(PaperBoundaries, SmallBudgetAtInfeasibleEverywhere) {
+  // "When ζtarget <= 24s, SNIP-AT cannot probe the necessary contacts
+  // under the energy budget" — in fact AT fails at every listed target.
+  for (const double target : RoadsideScenario::zeta_targets_s()) {
+    EXPECT_FALSE(model.snip_at(target, sc.phi_max_small_s()).met_target)
+        << target;
+  }
+}
+
+TEST_F(PaperBoundaries, SmallBudgetRhBoundaryBetween24And32) {
+  EXPECT_TRUE(
+      model.snip_rh(sc.rush_mask.bits(), 24.0, sc.phi_max_small_s())
+          .met_target);
+  EXPECT_FALSE(
+      model.snip_rh(sc.rush_mask.bits(), 32.0, sc.phi_max_small_s())
+          .met_target);
+}
+
+TEST_F(PaperBoundaries, LargeBudgetRhBoundaryBetween48And56) {
+  // "when ζtarget <= 48s, SNIP-RH can probe the necessary contacts much
+  // more energy efficiently than SNIP-AT... when ζtarget = 56s, the
+  // contact capacity in Rush Hours is not high enough".
+  EXPECT_TRUE(
+      model.snip_rh(sc.rush_mask.bits(), 48.0, sc.phi_max_large_s())
+          .met_target);
+  EXPECT_FALSE(
+      model.snip_rh(sc.rush_mask.bits(), 56.0, sc.phi_max_large_s())
+          .met_target);
+}
+
+TEST_F(PaperBoundaries, LargeBudgetAtAndOptReach56) {
+  EXPECT_TRUE(model.snip_at(56.0, sc.phi_max_large_s()).met_target);
+  EXPECT_TRUE(model.snip_opt(56.0, sc.phi_max_large_s()).met_target);
+}
+
+TEST_F(PaperBoundaries, RhMatchesOptAtSmallBudget) {
+  for (const double target : RoadsideScenario::zeta_targets_s()) {
+    const auto rh =
+        model.snip_rh(sc.rush_mask.bits(), target, sc.phi_max_small_s());
+    const auto opt = model.snip_opt(target, sc.phi_max_small_s());
+    EXPECT_NEAR(rh.metrics.zeta_s, opt.metrics.zeta_s, 1e-6) << target;
+    EXPECT_NEAR(rh.metrics.phi_s, opt.metrics.phi_s, 1e-6) << target;
+  }
+}
+
+TEST_F(PaperBoundaries, RhUnitCostBeatsAtByRushHourGain) {
+  // ρ_AT/ρ_RH must equal the Sec. IV gain 1/(x + (1−x)/y) ≈ 3.27.
+  const auto at = model.snip_at(16.0, sc.phi_max_large_s());
+  const auto rh =
+      model.snip_rh(sc.rush_mask.bits(), 16.0, sc.phi_max_large_s());
+  EXPECT_NEAR(at.metrics.rho() / rh.metrics.rho(), 86400.0 / 8800.0 / 3.0,
+              1e-6);
+}
+
+TEST_F(PaperBoundaries, LargeBudgetEnergySavingsAtLeastThreefold) {
+  // Fig. 6b: for every feasible target, Φ_RH is at least ~3.3x below Φ_AT.
+  for (const double target : {16.0, 24.0, 32.0, 40.0, 48.0}) {
+    const auto at = model.snip_at(target, sc.phi_max_large_s());
+    const auto rh =
+        model.snip_rh(sc.rush_mask.bits(), target, sc.phi_max_large_s());
+    ASSERT_TRUE(at.met_target && rh.met_target) << target;
+    EXPECT_GT(at.metrics.phi_s / rh.metrics.phi_s, 3.0) << target;
+  }
+}
+
+// --- Simulation-level reproduction (Figs. 7 and 8, two-week runs) ---
+
+struct SimPoint {
+  double zeta;
+  double phi;
+};
+
+SimPoint simulate_rh(const RoadsideScenario& sc, double target,
+                     double phi_max) {
+  SnipRh rh{sc.rush_mask, SnipRhConfig{}};
+  ExperimentConfig cfg;
+  cfg.epochs = 14;
+  cfg.phi_max_s = phi_max;
+  cfg.sensing_rate_bps = sc.sensing_rate_for_target(target);
+  cfg.jitter = contact::IntervalJitter::kNormalTenth;
+  cfg.seed = 77;
+  const auto r = run_experiment(sc, rh, cfg);
+  return {r.mean_zeta_s, r.mean_phi_s};
+}
+
+TEST_F(PaperBoundaries, SimulatedRhSmallBudgetMatchesFig7) {
+  // Feasible target 16: ζ tracks the target at ρ ≈ 3.
+  const SimPoint p16 = simulate_rh(sc, 16.0, sc.phi_max_small_s());
+  EXPECT_NEAR(p16.zeta, 16.0, 2.5);
+  EXPECT_NEAR(p16.phi / p16.zeta, 3.0, 0.5);
+  // Infeasible target 48: ζ saturates near the 28.8 s budget cap.
+  const SimPoint p48 = simulate_rh(sc, 48.0, sc.phi_max_small_s());
+  EXPECT_LT(p48.zeta, 33.0);
+  EXPECT_GT(p48.zeta, 24.0);
+  EXPECT_NEAR(p48.phi, 86.4, 5.0);
+}
+
+TEST_F(PaperBoundaries, SimulatedRhLargeBudgetMatchesFig8) {
+  const SimPoint p48 = simulate_rh(sc, 48.0, sc.phi_max_large_s());
+  EXPECT_NEAR(p48.zeta, 48.0, 6.0);
+  // Target 56 exceeds rush capacity: ζ saturates below it.
+  const SimPoint p56 = simulate_rh(sc, 56.0, sc.phi_max_large_s());
+  EXPECT_LT(p56.zeta, 54.0);
+}
+
+TEST_F(PaperBoundaries, SimulatedAtVsRhEnergyGap) {
+  // The headline claim, end to end in the simulator: same probed target,
+  // several-fold less probing energy for SNIP-RH.
+  const double target = 16.0;
+  const auto plan = model.snip_at(target, sc.phi_max_large_s());
+  SnipAt at{plan.duties[0], sim::Duration::seconds(sc.snip.ton_s)};
+  ExperimentConfig cfg;
+  cfg.epochs = 14;
+  cfg.phi_max_s = sc.phi_max_large_s();
+  cfg.sensing_rate_bps = sc.sensing_rate_for_target(target);
+  cfg.jitter = contact::IntervalJitter::kNormalTenth;
+  cfg.seed = 78;
+  const auto at_run = run_experiment(sc, at, cfg);
+  const SimPoint rh = simulate_rh(sc, target, sc.phi_max_large_s());
+  EXPECT_NEAR(at_run.mean_zeta_s, target, 3.0);
+  EXPECT_GT(at_run.mean_phi_s / rh.phi, 2.5);
+}
+
+}  // namespace
+}  // namespace snipr::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "snipr/core/experiment.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/radio/probe_math.hpp"
+
+/// Cross-validation: the discrete-event simulator must agree with the
+/// closed-form SNIP model (eq. 1) wherever both apply. This is the same
+/// validation the paper performs between its analysis and COOJA runs.
+
+namespace snipr::core {
+namespace {
+
+using contact::Contact;
+using sim::Duration;
+using sim::TimePoint;
+
+/// Monte-Carlo Υ from the per-contact closed form, randomising the phase
+/// between the radio grid and the contact arrival.
+double upsilon_from_probe_math(double duty, double tcontact_s,
+                               double ton_s, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  const Duration ton = Duration::seconds(ton_s);
+  const Duration cycle = Duration::seconds(ton_s / duty);
+  radio::LinkParams link;
+  link.beacon_airtime = Duration::zero();  // match the ideal model
+  link.reply_airtime = Duration::zero();
+  double probed = 0.0;
+  double capacity = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Contact c{TimePoint::zero() +
+                        Duration::seconds(rng.uniform(10.0, 10.0 + 1000.0)),
+                    Duration::seconds(tcontact_s)};
+    const auto aware = radio::snip_awareness_time(c, cycle, ton, link);
+    probed += radio::probed_capacity(c, aware).to_seconds();
+    capacity += tcontact_s;
+  }
+  return probed / capacity;
+}
+
+TEST(SimVsModel, ProbeMathReproducesEquationOne) {
+  for (const double duty : {0.001, 0.005, 0.01, 0.05, 0.2}) {
+    const double analytic = model::upsilon_fixed(duty, 2.0, 0.02);
+    const double sim_value = upsilon_from_probe_math(duty, 2.0, 0.02, 42);
+    EXPECT_NEAR(sim_value, analytic, 0.015) << "duty " << duty;
+  }
+}
+
+TEST(SimVsModel, ProbeMathKneeIsHalf) {
+  EXPECT_NEAR(upsilon_from_probe_math(0.01, 2.0, 0.02, 7), 0.5, 0.01);
+}
+
+TEST(SimVsModel, SensorNodeUpsilonMatchesModel) {
+  // Full DES in the paper's jittered environment (the deterministic one
+  // phase-locks arrivals against the radio grid). At the knee duty, RH
+  // probes half the ~96 s rush capacity; beacon airtimes (2 ms/contact)
+  // and jitter put the run slightly below the ideal 48 s.
+  const RoadsideScenario sc;
+  SnipRh rh{sc.rush_mask, SnipRhConfig{}};
+  ExperimentConfig cfg;
+  cfg.epochs = 10;
+  cfg.phi_max_s = 1e9;  // no budget gate
+  cfg.sensing_rate_bps = sc.sensing_rate_for_target(1000.0);  // no data gate
+  cfg.jitter = contact::IntervalJitter::kNormalTenth;
+  const auto r = run_experiment(sc, rh, cfg);
+  EXPECT_NEAR(r.mean_zeta_s, 48.0, 5.0);
+}
+
+TEST(SimVsModel, SnipAtCapacityScalesLinearlyWithDuty) {
+  const RoadsideScenario sc;
+  double prev = 0.0;
+  for (const double duty : {0.001, 0.002, 0.004}) {
+    SnipAt at{duty, Duration::seconds(sc.snip.ton_s)};
+    ExperimentConfig cfg;
+    cfg.epochs = 14;
+    cfg.phi_max_s = 1e9;
+    cfg.sensing_rate_bps = 1000.0;
+    cfg.jitter = contact::IntervalJitter::kNormalTenth;
+    const auto r = run_experiment(sc, at, cfg);
+    const double predicted = sc.make_model().capacity_at_uniform_duty(duty);
+    EXPECT_NEAR(r.mean_zeta_s, predicted, predicted * 0.3 + 1.0)
+        << "duty " << duty;
+    EXPECT_GT(r.mean_zeta_s, prev);
+    prev = r.mean_zeta_s;
+  }
+}
+
+TEST(SimVsModel, PhiMatchesDutyTimesActiveTime) {
+  // SNIP-AT at duty d for a full epoch: Φ ≈ Tepoch·d.
+  const RoadsideScenario sc;
+  SnipAt at{0.001, Duration::seconds(sc.snip.ton_s)};
+  ExperimentConfig cfg;
+  cfg.epochs = 3;
+  cfg.phi_max_s = 1e9;
+  cfg.sensing_rate_bps = 1000.0;
+  cfg.jitter = contact::IntervalJitter::kNormalTenth;
+  const auto r = run_experiment(sc, at, cfg);
+  EXPECT_NEAR(r.mean_phi_s, 86.4, 1.0);
+}
+
+TEST(SimVsModel, ExponentialLengthsMatchFootnoteOneModel) {
+  // Build a uniform profile with exponential contact lengths and check the
+  // probed fraction against the closed-form Ῡ.
+  const double mean_len = 2.0;
+  const double duty = 0.01;
+  contact::ArrivalProfile profile =
+      contact::ArrivalProfile::uniform(Duration::hours(24), 24, 300.0);
+  contact::IntervalContactProcess process{
+      profile, std::make_unique<sim::ExponentialDistribution>(mean_len)};
+  sim::Rng rng{11};
+  const auto contacts =
+      contact::materialize(process, Duration::hours(24) * 5, rng);
+  const Duration cycle = Duration::seconds(0.02 / duty);
+  radio::LinkParams link;
+  link.beacon_airtime = Duration::zero();
+  link.reply_airtime = Duration::zero();
+  double probed = 0.0;
+  double capacity = 0.0;
+  for (const Contact& c : contacts) {
+    // Random grid phase per contact: the model assumes the wakeup grid is
+    // uniform relative to arrivals (deterministic arrivals at multiples of
+    // 300 s would otherwise phase-lock against the 2 s cycle).
+    const Duration phase =
+        Duration::seconds(rng.uniform(0.0, cycle.to_seconds()));
+    const auto aware = radio::snip_awareness_time(
+        c, cycle, Duration::seconds(0.02), link, phase);
+    probed += radio::probed_capacity(c, aware).to_seconds();
+    capacity += c.length.to_seconds();
+  }
+  const double analytic = model::upsilon_exponential(duty, mean_len, 0.02);
+  EXPECT_NEAR(probed / capacity, analytic, 0.03);
+}
+
+}  // namespace
+}  // namespace snipr::core

@@ -1,0 +1,189 @@
+#include "snipr/model/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snipr/contact/profile.hpp"
+
+namespace snipr::model {
+namespace {
+
+EpochModel roadside_model() {
+  return EpochModel{contact::ArrivalProfile::roadside(), 2.0, SnipParams{}};
+}
+
+TEST(MaximizeCapacity, SmallBudgetFillsRushSlotsOnly) {
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 86.4);
+  EXPECT_NEAR(r.zeta_s, 28.8, 1e-9);
+  EXPECT_NEAR(r.phi_s, 86.4, 1e-9);
+  // Rush slots share the budget evenly; off-peak slots stay dark.
+  EXPECT_NEAR(r.duties[7], 86.4 / (4 * 3600.0), 1e-12);
+  EXPECT_DOUBLE_EQ(r.duties[7], r.duties[18]);
+  EXPECT_DOUBLE_EQ(r.duties[0], 0.0);
+}
+
+TEST(MaximizeCapacity, LargeBudgetEqualisesRushAboveKneeWithOffPeakLinear) {
+  // 864 s: the optimum pushes rush slots above the knee until their
+  // marginal efficiency falls to the off-peak linear level — at duty
+  // knee·sqrt(f_rh/f_oth) = 0.01·sqrt(6) — and spends the rest on the
+  // off-peak linear segments. This strictly beats filling every knee
+  // (ζ = 88 s): ζ* = 96·(1 − 0.005/0.0245) + 80·50·d_off ≈ 104.8 s.
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 864.0);
+  const double d_rush = 0.01 * std::sqrt(6.0);
+  const double d_off = (864.0 - 14400.0 * d_rush) / 72000.0;
+  EXPECT_NEAR(r.duties[7], d_rush, 1e-6);
+  EXPECT_NEAR(r.duties[0], d_off, 1e-6);
+  EXPECT_NEAR(r.phi_s, 864.0, 1e-6);
+  EXPECT_GT(r.zeta_s, 104.0);
+  EXPECT_LT(r.zeta_s, 105.5);
+}
+
+TEST(MaximizeCapacity, MidBudgetStaysRushOnlyAboveKnee) {
+  // 200 s exceeds the rush knees (144 s) but pushing rush duty to
+  // 200/14400 = 0.0139 still has marginal efficiency above the off-peak
+  // linear level, so off-peak slots stay dark.
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 200.0);
+  EXPECT_NEAR(r.duties[7], 200.0 / 14400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.duties[0], 0.0);
+  EXPECT_NEAR(r.phi_s, 200.0, 1e-6);
+  EXPECT_NEAR(r.zeta_s, 96.0 * (1.0 - 0.005 / (200.0 / 14400.0)), 1e-6);
+}
+
+TEST(MaximizeCapacity, HugeBudgetSaturatesAllDuties) {
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 86400.0);
+  for (const double d : r.duties) EXPECT_DOUBLE_EQ(d, 1.0);
+  // ζ at d=1: Υ = 1 − Ton/(2·Tcontact) = 0.995.
+  EXPECT_NEAR(r.zeta_s, 176.0 * 0.995, 1e-6);
+}
+
+TEST(MaximizeCapacity, AboveKneeSpendsRushFirst) {
+  // Budget 1200: both groups end above their knees, with duty growing as
+  // sqrt(rate), so rush slots stay strictly above off-peak slots.
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 1200.0);
+  EXPECT_GT(r.duties[7], r.duties[0]);
+  EXPECT_GT(r.duties[7], 0.01);
+  EXPECT_GT(r.duties[0], 0.01);
+  EXPECT_NEAR(r.phi_s, 1200.0, 0.1);
+  // Marginal-efficiency equalisation: f_rush/d_rush² == f_other/d_other².
+  const double lhs = (1.0 / 300.0) / (r.duties[7] * r.duties[7]);
+  const double rhs = (1.0 / 1800.0) / (r.duties[0] * r.duties[0]);
+  EXPECT_NEAR(lhs / rhs, 1.0, 1e-3);
+}
+
+TEST(MaximizeCapacity, ZeroBudgetYieldsNothing) {
+  const EpochModel m = roadside_model();
+  const auto r = maximize_capacity(m, 0.0);
+  EXPECT_DOUBLE_EQ(r.zeta_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.phi_s, 0.0);
+  EXPECT_THROW(maximize_capacity(m, -1.0), std::invalid_argument);
+}
+
+TEST(MaximizeCapacity, MonotoneInBudget) {
+  const EpochModel m = roadside_model();
+  double prev = 0.0;
+  for (const double budget : {10.0, 50.0, 144.0, 500.0, 864.0, 2000.0}) {
+    const auto r = maximize_capacity(m, budget);
+    EXPECT_GE(r.zeta_s + 1e-9, prev) << budget;
+    EXPECT_LE(r.phi_s, budget + 1e-6) << budget;
+    prev = r.zeta_s;
+  }
+}
+
+TEST(MinimizeOverhead, BuysCheapestCapacityFirst) {
+  const EpochModel m = roadside_model();
+  // 24 s fits inside the rush knees (48 s): only rush slots light up.
+  const auto r = minimize_overhead(m, 24.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.zeta_s, 24.0, 1e-9);
+  EXPECT_NEAR(r.phi_s, 72.0, 1e-9);  // ρ = 3
+  EXPECT_DOUBLE_EQ(r.duties[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.duties[7], r.duties[17]);
+}
+
+TEST(MinimizeOverhead, FiftySixStaysRushOnlyAboveKnee) {
+  // 56 s exceeds the rush knee capacity (48 s) but the cheapest next
+  // capacity is *above* the rush knee, not the off-peak linear segments:
+  // 96·(1 − 0.005/d) = 56  =>  d = 0.012, Φ = 14400·0.012 = 172.8 s.
+  const EpochModel m = roadside_model();
+  const auto r = minimize_overhead(m, 56.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.zeta_s, 56.0, 1e-6);
+  EXPECT_NEAR(r.phi_s, 172.8, 1e-3);
+  EXPECT_NEAR(r.duties[7], 0.012, 1e-6);
+  EXPECT_DOUBLE_EQ(r.duties[0], 0.0);
+}
+
+TEST(MinimizeOverhead, SpillsToOffPeakOnlyPastEqualisedRushDuty) {
+  // Off-peak slots activate once rush duty reaches knee·sqrt(6) ≈ 0.0245,
+  // i.e. for targets above 96·(1 − 0.005/0.0245) ≈ 76.4 s.
+  const EpochModel m = roadside_model();
+  const double d_eq = 0.01 * std::sqrt(6.0);
+  const double rush_cap = 96.0 * (1.0 - 0.005 / d_eq);
+  const auto below = minimize_overhead(m, rush_cap - 1.0);
+  EXPECT_DOUBLE_EQ(below.duties[0], 0.0);
+  const auto above = minimize_overhead(m, rush_cap + 5.0);
+  EXPECT_GT(above.duties[0], 0.0);
+  EXPECT_LT(above.duties[0], 0.01);
+  EXPECT_NEAR(above.duties[7], d_eq, 1e-6);
+  EXPECT_NEAR(above.zeta_s, rush_cap + 5.0, 1e-6);
+}
+
+TEST(MinimizeOverhead, GoesAboveKneeWhenLinearCapacityExhausted) {
+  const EpochModel m = roadside_model();
+  // All knees give 88 s; ask for more.
+  const auto r = minimize_overhead(m, 120.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.zeta_s, 120.0, 1e-6);
+  EXPECT_GT(r.duties[7], 0.01);
+  EXPECT_GT(r.duties[0], 0.01);
+}
+
+TEST(MinimizeOverhead, InfeasibleTargetReturnsAllOn) {
+  const EpochModel m = roadside_model();
+  // Max ζ at d=1 is 176·0.995 = 175.12; 176 is unreachable.
+  const auto r = minimize_overhead(m, 176.0);
+  EXPECT_FALSE(r.feasible);
+  for (const double d : r.duties) EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(MinimizeOverhead, ZeroTargetIsFree) {
+  const EpochModel m = roadside_model();
+  const auto r = minimize_overhead(m, 0.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.phi_s, 0.0);
+  for (const double d : r.duties) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(MinimizeOverhead, CostIsMonotoneInTarget) {
+  const EpochModel m = roadside_model();
+  double prev = 0.0;
+  for (const double target : {5.0, 20.0, 48.0, 60.0, 88.0, 110.0}) {
+    const auto r = minimize_overhead(m, target);
+    EXPECT_TRUE(r.feasible) << target;
+    EXPECT_GE(r.phi_s + 1e-9, prev) << target;
+    prev = r.phi_s;
+  }
+}
+
+TEST(Optimizer, DeadSlotsNeverAllocated) {
+  contact::ArrivalProfile profile{
+      sim::Duration::hours(24),
+      std::vector<double>{300.0, contact::ArrivalProfile::kNoContacts, 1800.0,
+                          contact::ArrivalProfile::kNoContacts}};
+  const EpochModel m{profile, 2.0, SnipParams{}};
+  const auto max = maximize_capacity(m, 1e6);
+  EXPECT_DOUBLE_EQ(max.duties[1], 0.0);
+  EXPECT_DOUBLE_EQ(max.duties[3], 0.0);
+  const auto min = minimize_overhead(m, 10.0);
+  EXPECT_DOUBLE_EQ(min.duties[1], 0.0);
+  EXPECT_DOUBLE_EQ(min.duties[3], 0.0);
+}
+
+}  // namespace
+}  // namespace snipr::model

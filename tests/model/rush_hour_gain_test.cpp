@@ -1,0 +1,62 @@
+#include "snipr/model/rush_hour_gain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::model {
+namespace {
+
+TEST(RushHourGain, ClosedFormValues) {
+  // ΦAT/Φrh = 1/(x + (1−x)/y).
+  EXPECT_DOUBLE_EQ(rush_hour_gain(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(rush_hour_gain(1.0, 10.0), 1.0);  // all rush: no gain
+  EXPECT_NEAR(rush_hour_gain(0.25, 4.0), 1.0 / (0.25 + 0.75 / 4.0), 1e-12);
+}
+
+TEST(RushHourGain, Fig4CornerReachesElevenish) {
+  // Fig. 4's z-axis tops out around 10-11 at x = 0.05, y = 20.
+  EXPECT_NEAR(rush_hour_gain(0.05, 20.0), 10.256, 0.01);
+}
+
+TEST(RushHourGain, PaperScenarioGain) {
+  // Road-side scenario: Trh/Tepoch = 4/24, frh/fother = 6.
+  const double gain = rush_hour_gain(4.0 / 24.0, 6.0);
+  EXPECT_NEAR(gain, 1.0 / (4.0 / 24.0 + (20.0 / 24.0) / 6.0), 1e-12);
+  EXPECT_NEAR(gain, 3.2727, 1e-3);
+  // This is exactly ρ_AT/ρ_RH = 9.818/3 from the Fig. 5/6 analysis.
+  EXPECT_NEAR(gain, (86400.0 / 8800.0) / 3.0, 1e-9);
+}
+
+TEST(RushHourGain, MonotoneInFrequencyRatio) {
+  double prev = 0.0;
+  for (const double y : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const double g = rush_hour_gain(0.1, y);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(RushHourGain, MonotoneDecreasingInRushFraction) {
+  double prev = 1e9;
+  for (const double x : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const double g = rush_hour_gain(x, 10.0);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(RushHourGain, BoundedByFrequencyRatio) {
+  // As x -> 0 the gain approaches y; it can never exceed it.
+  for (const double y : {2.0, 8.0, 20.0}) {
+    EXPECT_LT(rush_hour_gain(0.01, y), y);
+    EXPECT_NEAR(rush_hour_gain(1e-9, y), y, y * 1e-6);
+  }
+}
+
+TEST(RushHourGain, Validation) {
+  EXPECT_THROW((void)rush_hour_gain(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)rush_hour_gain(1.5, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)rush_hour_gain(0.5, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::model

@@ -1,0 +1,85 @@
+#include "snipr/node/data_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::node {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+TEST(FluidBuffer, ProducesAtConstantRate) {
+  const FluidBuffer b{2.0};
+  EXPECT_DOUBLE_EQ(b.produced(at_s(0)), 0.0);
+  EXPECT_DOUBLE_EQ(b.produced(at_s(10)), 20.0);
+  EXPECT_DOUBLE_EQ(b.available(at_s(10)), 20.0);
+}
+
+TEST(FluidBuffer, TakeReducesAvailability) {
+  FluidBuffer b{1.0};
+  EXPECT_DOUBLE_EQ(b.take(at_s(10), 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(b.available(at_s(10)), 6.0);
+  EXPECT_DOUBLE_EQ(b.uploaded(), 4.0);
+}
+
+TEST(FluidBuffer, TakeClampsToAvailable) {
+  FluidBuffer b{1.0};
+  EXPECT_DOUBLE_EQ(b.take(at_s(5), 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(b.available(at_s(5)), 0.0);
+}
+
+TEST(FluidBuffer, TakeNegativeIsZero) {
+  FluidBuffer b{1.0};
+  EXPECT_DOUBLE_EQ(b.take(at_s(5), -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.uploaded(), 0.0);
+}
+
+TEST(FluidBuffer, AvailabilityRefillsAfterDrain) {
+  FluidBuffer b{2.0};
+  (void)b.take(at_s(10), 20.0);
+  EXPECT_DOUBLE_EQ(b.available(at_s(10)), 0.0);
+  EXPECT_DOUBLE_EQ(b.available(at_s(15)), 10.0);
+}
+
+TEST(FluidBuffer, ZeroRateNeverAccumulates) {
+  FluidBuffer b{0.0};
+  EXPECT_DOUBLE_EQ(b.available(at_s(1000)), 0.0);
+  EXPECT_DOUBLE_EQ(b.take(at_s(1000), 5.0), 0.0);
+}
+
+TEST(FluidBuffer, NegativeRateThrows) {
+  EXPECT_THROW(FluidBuffer{-1.0}, std::invalid_argument);
+}
+
+TEST(FluidBuffer, LatencyOfSingleTakeIsExact) {
+  // Rate 1 B/s; at t=10 take 5 bytes: they were generated over [0,5] with
+  // mean age 10 − 2.5 = 7.5 s.
+  FluidBuffer b{1.0};
+  (void)b.take(at_s(10), 5.0);
+  EXPECT_DOUBLE_EQ(b.mean_delivery_latency_s(), 7.5);
+}
+
+TEST(FluidBuffer, LatencyAveragesAcrossTakes) {
+  FluidBuffer b{1.0};
+  (void)b.take(at_s(10), 5.0);   // latency 7.5 over 5 bytes
+  (void)b.take(at_s(20), 5.0);   // bytes from [5,10], mean age 12.5
+  EXPECT_DOUBLE_EQ(b.mean_delivery_latency_s(), 10.0);
+}
+
+TEST(FluidBuffer, LatencyZeroBeforeUploads) {
+  const FluidBuffer b{1.0};
+  EXPECT_DOUBLE_EQ(b.mean_delivery_latency_s(), 0.0);
+}
+
+TEST(FluidBuffer, FifoDrainHasNonNegativeLatency) {
+  FluidBuffer b{3.0};
+  for (int t = 1; t <= 100; ++t) {
+    (void)b.take(at_s(t), 2.0);
+    EXPECT_GE(b.mean_delivery_latency_s(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace snipr::node

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "snipr/model/optimizer.hpp"
+#include "snipr/sim/rng.hpp"
+
+/// Optimality properties of the water-filling solver, checked against
+/// exhaustive grid search on small random instances.
+
+namespace snipr::model {
+namespace {
+
+/// Random 4-slot profile (6 h slots) with rates drawn over two orders of
+/// magnitude; some slots may be dead.
+contact::ArrivalProfile random_profile(sim::Rng& rng) {
+  std::vector<double> intervals(4);
+  for (double& m : intervals) {
+    m = rng.bernoulli(0.2) ? contact::ArrivalProfile::kNoContacts
+                           : rng.uniform(100.0, 10000.0);
+  }
+  // Guarantee at least one live slot.
+  if (intervals[0] == contact::ArrivalProfile::kNoContacts) {
+    intervals[0] = 500.0;
+  }
+  return contact::ArrivalProfile{sim::Duration::hours(24),
+                                 std::move(intervals)};
+}
+
+/// Exhaustive grid search maximising ζ under a Φ budget.
+double brute_force_max_zeta(const EpochModel& m, double phi_max) {
+  const double slot_s = m.profile().slot_length().to_seconds();
+  const int steps = 60;
+  double best = 0.0;
+  std::vector<double> duties(4, 0.0);
+  // 4 nested loops over duty grid [0, 0.03] (well past the knee 0.01).
+  for (int a = 0; a <= steps; ++a) {
+    duties[0] = 0.03 * a / steps;
+    for (int b = 0; b <= steps; ++b) {
+      duties[1] = 0.03 * b / steps;
+      const double phi01 = slot_s * (duties[0] + duties[1]);
+      if (phi01 > phi_max) break;
+      for (int c = 0; c <= steps; ++c) {
+        duties[2] = 0.03 * c / steps;
+        for (int d = 0; d <= steps; ++d) {
+          duties[3] = 0.03 * d / steps;
+          const PlanMetrics metrics = m.evaluate(duties);
+          if (metrics.phi_s <= phi_max + 1e-9) {
+            best = std::max(best, metrics.zeta_s);
+          } else {
+            break;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(OptimizerProperty, MaximizeBeatsGridSearchOnRandomInstances) {
+  sim::Rng rng{2024};
+  for (int trial = 0; trial < 8; ++trial) {
+    const EpochModel m{random_profile(rng), 2.0, SnipParams{}};
+    const double phi_max = rng.uniform(50.0, 1500.0);
+    const auto wf = maximize_capacity(m, phi_max);
+    const double brute = brute_force_max_zeta(m, phi_max);
+    // Water-filling must match (or exceed, within grid resolution) the
+    // exhaustive search and respect the budget.
+    EXPECT_GE(wf.zeta_s + 1e-6, brute * 0.999) << "trial " << trial;
+    EXPECT_LE(wf.phi_s, phi_max + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(OptimizerProperty, MinimizeIsInverseOfMaximize) {
+  // For any budget B: minimize_overhead(maximize_capacity(B).ζ).Φ == B
+  // (when the optimum is interior, i.e. below saturation).
+  sim::Rng rng{55};
+  for (int trial = 0; trial < 10; ++trial) {
+    const EpochModel m{random_profile(rng), 2.0, SnipParams{}};
+    const double phi_max = rng.uniform(10.0, 800.0);
+    const auto max_r = maximize_capacity(m, phi_max);
+    if (max_r.phi_s < phi_max - 1e-6) continue;  // saturated: skip
+    const auto min_r = minimize_overhead(m, max_r.zeta_s);
+    ASSERT_TRUE(min_r.feasible);
+    EXPECT_NEAR(min_r.phi_s, phi_max, phi_max * 1e-3 + 1e-4)
+        << "trial " << trial;
+  }
+}
+
+TEST(OptimizerProperty, MinimizeMeetsTargetExactlyWhenFeasible) {
+  sim::Rng rng{77};
+  for (int trial = 0; trial < 10; ++trial) {
+    const EpochModel m{random_profile(rng), 2.0, SnipParams{}};
+    const auto everything = minimize_overhead(m, 1e12);
+    const double max_zeta = everything.zeta_s;
+    const double target = rng.uniform(0.1, 0.9) * max_zeta;
+    const auto r = minimize_overhead(m, target);
+    ASSERT_TRUE(r.feasible) << "trial " << trial;
+    EXPECT_NEAR(r.zeta_s, target, target * 1e-3 + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(OptimizerProperty, DutiesOrderedByRate) {
+  // In every optimal plan, a slot with a higher arrival rate never gets a
+  // lower duty than a slot with a lower rate.
+  sim::Rng rng{99};
+  for (int trial = 0; trial < 10; ++trial) {
+    const EpochModel m{random_profile(rng), 2.0, SnipParams{}};
+    const double phi_max = rng.uniform(10.0, 2000.0);
+    const auto r = maximize_capacity(m, phi_max);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        if (m.profile().arrival_rate(i) > m.profile().arrival_rate(j)) {
+          EXPECT_GE(r.duties[i] + 1e-9, r.duties[j])
+              << "trial " << trial << " slots " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(OptimizerProperty, ParetoConsistencyAcrossBudgets) {
+  // More budget never hurts: ζ is non-decreasing, and plans never waste
+  // budget while capacity is still available below saturation.
+  sim::Rng rng{123};
+  const EpochModel m{random_profile(rng), 2.0, SnipParams{}};
+  double prev_zeta = -1.0;
+  for (double budget = 10.0; budget <= 5000.0; budget *= 1.7) {
+    const auto r = maximize_capacity(m, budget);
+    EXPECT_GE(r.zeta_s + 1e-9, prev_zeta);
+    prev_zeta = r.zeta_s;
+  }
+}
+
+}  // namespace
+}  // namespace snipr::model

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_opt.hpp"
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/sim/rng.hpp"
+
+/// Decision invariants every scheduler must uphold for any context the
+/// sensor node can legally present: positive wake-ups, budget discipline
+/// (never probe when one wakeup no longer fits), and mask discipline for
+/// SNIP-RH (never probe outside rush hours; never probe below the data
+/// threshold).
+
+namespace snipr::core {
+namespace {
+
+using node::SensorContext;
+using sim::Duration;
+using sim::TimePoint;
+
+SensorContext random_context(sim::Rng& rng) {
+  SensorContext ctx;
+  ctx.now = TimePoint::zero() +
+            Duration::seconds(rng.uniform(0.0, 14.0 * 86400.0));
+  ctx.buffer_bytes = rng.uniform(0.0, 1e6);
+  const double limit_s = rng.uniform(0.0, 1000.0);
+  ctx.budget_limit = Duration::seconds(limit_s);
+  ctx.budget_used = Duration::seconds(rng.uniform(0.0, limit_s * 1.2));
+  ctx.epoch_index = ctx.now.count() / Duration::hours(24).count();
+  return ctx;
+}
+
+constexpr Duration kTon = Duration::milliseconds(20);
+
+TEST(SchedulerInvariants, SnipAtNeverOverrunsBudgetOrStalls) {
+  SnipAt at{0.005, kTon};
+  sim::Rng rng{1};
+  for (int i = 0; i < 5000; ++i) {
+    const SensorContext ctx = random_context(rng);
+    const auto d = at.on_wakeup(ctx);
+    EXPECT_GT(d.next_wakeup, Duration::zero());
+    if (d.probe) {
+      EXPECT_LE((ctx.budget_used + kTon).count(), ctx.budget_limit.count());
+    }
+  }
+}
+
+TEST(SchedulerInvariants, SnipOptRespectsPlanAndBudget) {
+  std::vector<double> duties(24, 0.0);
+  duties[7] = duties[8] = 0.01;
+  duties[12] = 0.001;
+  SnipOpt opt{duties, Duration::hours(24), kTon};
+  sim::Rng rng{2};
+  for (int i = 0; i < 5000; ++i) {
+    const SensorContext ctx = random_context(rng);
+    const auto d = opt.on_wakeup(ctx);
+    EXPECT_GT(d.next_wakeup, Duration::zero());
+    if (d.probe) {
+      EXPECT_LE((ctx.budget_used + kTon).count(), ctx.budget_limit.count());
+      const std::int64_t into_epoch =
+          ctx.now.count() % Duration::hours(24).count();
+      const auto slot = static_cast<std::size_t>(
+          into_epoch / Duration::hours(1).count());
+      EXPECT_GT(duties[slot], 0.0) << "probed in a zero-duty slot";
+    }
+  }
+}
+
+TEST(SchedulerInvariants, SnipRhHonoursAllThreeConditions) {
+  SnipRh rh{RushHourMask::from_hours({7, 8, 17, 18}), SnipRhConfig{}};
+  sim::Rng rng{3};
+  for (int i = 0; i < 5000; ++i) {
+    const SensorContext ctx = random_context(rng);
+    const auto d = rh.on_wakeup(ctx);
+    EXPECT_GT(d.next_wakeup, Duration::zero());
+    if (d.probe) {
+      // 1: inside rush hours.
+      EXPECT_TRUE(rh.mask().is_rush(ctx.now));
+      // 2: enough data buffered.
+      EXPECT_GE(ctx.buffer_bytes, rh.upload_threshold_bytes());
+      // 3: one more wakeup affordable.
+      EXPECT_LE((ctx.budget_used + kTon).count(), ctx.budget_limit.count());
+      // Cycle never shorter than Ton.
+      EXPECT_GE(d.next_wakeup, kTon);
+    }
+  }
+}
+
+TEST(SchedulerInvariants, SnipRhSleepsLandInsideOrAtRushHours) {
+  // When condition 1 fails, the scheduler sleeps to a rush-slot start —
+  // never beyond it.
+  SnipRh rh{RushHourMask::from_hours({7, 8, 17, 18}), SnipRhConfig{}};
+  sim::Rng rng{4};
+  for (int i = 0; i < 2000; ++i) {
+    SensorContext ctx = random_context(rng);
+    ctx.budget_used = Duration::zero();
+    ctx.budget_limit = Duration::max();
+    ctx.buffer_bytes = 1e9;
+    const auto d = rh.on_wakeup(ctx);
+    if (!d.probe && !rh.mask().is_rush(ctx.now)) {
+      const TimePoint wake = ctx.now + d.next_wakeup;
+      EXPECT_TRUE(rh.mask().is_rush(wake))
+          << "woke at " << wake.to_seconds() << " outside rush hours";
+    }
+  }
+}
+
+TEST(SchedulerInvariants, LearningNeverBreaksDutyBounds) {
+  // Whatever observations arrive (including adversarial extremes), the
+  // derived duty stays in (0, 1] and the threshold non-negative.
+  SnipRh rh{RushHourMask::from_hours({7}), SnipRhConfig{}};
+  sim::Rng rng{5};
+  for (int i = 0; i < 2000; ++i) {
+    node::ProbedContactObservation obs;
+    obs.probe_time = TimePoint::zero() + Duration::seconds(i * 7.0);
+    obs.observed_probed_len =
+        Duration::seconds(rng.uniform(1e-6, 1000.0));
+    obs.cycle_at_probe = Duration::seconds(rng.uniform(0.02, 100.0));
+    obs.bytes_uploaded = rng.uniform(0.0, 1e9);
+    obs.saw_departure = rng.bernoulli(0.7);
+    rh.on_contact_probed(obs);
+    EXPECT_GT(rh.duty(), 0.0);
+    EXPECT_LE(rh.duty(), 1.0);
+    EXPECT_GE(rh.upload_threshold_bytes(), 0.0);
+    EXPECT_GT(rh.tcontact_estimate_s(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace snipr::core

@@ -1,0 +1,75 @@
+#include "snipr/radio/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::radio {
+namespace {
+
+using contact::Contact;
+using contact::ContactSchedule;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+ContactSchedule one_contact() {
+  return ContactSchedule{
+      {{at_s(100), Duration::seconds(2)}}};
+}
+
+TEST(Channel, DeliversInsideContact) {
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.try_deliver(at_s(100), Duration::milliseconds(1)));
+  EXPECT_TRUE(ch.try_deliver(at_s(101.5), Duration::milliseconds(1)));
+}
+
+TEST(Channel, FailsOutsideContact) {
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_FALSE(ch.try_deliver(at_s(99), Duration::milliseconds(1)));
+  EXPECT_FALSE(ch.try_deliver(at_s(102.5), Duration::milliseconds(1)));
+}
+
+TEST(Channel, FrameCrossingDepartureIsLost) {
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  // Transmission starts in range but the mobile leaves mid-frame.
+  EXPECT_FALSE(ch.try_deliver(at_s(101.9995), Duration::milliseconds(1)));
+  EXPECT_TRUE(ch.try_deliver(at_s(101.999), Duration::milliseconds(1)));
+}
+
+TEST(Channel, CertainLossDropsEverything) {
+  LinkParams link;
+  link.frame_loss = 1.0;
+  Channel ch{one_contact(), link, sim::Rng{1}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ch.try_deliver(at_s(100.5), Duration::milliseconds(1)));
+  }
+}
+
+TEST(Channel, PartialLossDropsSomeFrames) {
+  LinkParams link;
+  link.frame_loss = 0.5;
+  Channel ch{one_contact(), link, sim::Rng{7}};
+  int delivered = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    delivered += ch.try_deliver(at_s(100.5), Duration::milliseconds(1)) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.05);
+}
+
+TEST(Channel, ActiveContactLookup) {
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.active_contact(at_s(100.1)).has_value());
+  EXPECT_FALSE(ch.active_contact(at_s(99.0)).has_value());
+  EXPECT_EQ(ch.active_contact(at_s(100.1))->arrival, at_s(100));
+}
+
+TEST(Channel, DefaultLinkParameters) {
+  const Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_EQ(ch.link().beacon_airtime, Duration::milliseconds(1));
+  EXPECT_DOUBLE_EQ(ch.link().data_rate_bps, 12500.0);
+  EXPECT_DOUBLE_EQ(ch.link().frame_loss, 0.0);
+}
+
+}  // namespace
+}  // namespace snipr::radio

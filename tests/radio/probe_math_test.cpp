@@ -1,0 +1,131 @@
+#include "snipr/radio/probe_math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::radio {
+namespace {
+
+using contact::Contact;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+const LinkParams kLink{};  // 1 ms beacon + 1 ms reply
+
+TEST(SnipAwareness, WakeupInsideContactProbes) {
+  // Contact [10, 12); cycle 1 s: the first wakeup at 10 s lands exactly at
+  // arrival; awareness after the 2 ms exchange.
+  const Contact c{at_s(10), Duration::seconds(2)};
+  const auto t = snip_awareness_time(c, Duration::seconds(1),
+                                     Duration::milliseconds(20), kLink);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, at_s(10) + Duration::milliseconds(2));
+}
+
+TEST(SnipAwareness, MidContactWakeup) {
+  const Contact c{at_s(10.5), Duration::seconds(2)};
+  const auto t = snip_awareness_time(c, Duration::seconds(1),
+                                     Duration::milliseconds(20), kLink);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, at_s(11) + Duration::milliseconds(2));
+}
+
+TEST(SnipAwareness, MissWhenNoWakeupInContact) {
+  // Cycle 10 s, contact [11, 13): wakeups at 10 and 20 both miss it.
+  const Contact c{at_s(11), Duration::seconds(2)};
+  EXPECT_FALSE(snip_awareness_time(c, Duration::seconds(10),
+                                   Duration::milliseconds(20), kLink)
+                   .has_value());
+}
+
+TEST(SnipAwareness, ExchangeMustFitInsideContact) {
+  // Wakeup lands 1 ms before departure: no room for beacon + reply.
+  const Contact c{at_s(9.5), Duration::seconds(0.501)};
+  EXPECT_FALSE(snip_awareness_time(c, Duration::seconds(10),
+                                   Duration::milliseconds(20), kLink)
+                   .has_value());
+}
+
+TEST(SnipAwareness, ExchangeLargerThanTonNeverProbes) {
+  LinkParams slow;
+  slow.beacon_airtime = Duration::milliseconds(15);
+  slow.reply_airtime = Duration::milliseconds(15);
+  const Contact c{at_s(10), Duration::seconds(2)};
+  EXPECT_FALSE(snip_awareness_time(c, Duration::seconds(1),
+                                   Duration::milliseconds(20), slow)
+                   .has_value());
+}
+
+TEST(SnipAwareness, PhaseShiftsGrid) {
+  const Contact c{at_s(10), Duration::seconds(2)};
+  const auto t =
+      snip_awareness_time(c, Duration::seconds(10),
+                          Duration::milliseconds(20), kLink,
+                          Duration::seconds(1));  // wakeups at 1, 11, 21...
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, at_s(11) + Duration::milliseconds(2));
+}
+
+TEST(MipAwareness, BeaconInsideListenWindowProbes) {
+  // Mobile beacons at arrival (10 s); sensor listens [10, 10.02) if the
+  // grid aligns: cycle 10 s puts a window at 10.
+  const Contact c{at_s(10), Duration::seconds(2)};
+  const auto t = mip_awareness_time(c, Duration::seconds(10),
+                                    Duration::milliseconds(20), kLink,
+                                    Duration::seconds(1));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, at_s(10) + Duration::milliseconds(1));
+}
+
+TEST(MipAwareness, LaterBeaconCaughtByLaterWindow) {
+  // Windows at 0, 4, 8, 12...; contact [9, 14): beacons at 9, 10, 11, 12
+  // — the beacon at 12 lands in the window starting at 12.
+  const Contact c{at_s(9), Duration::seconds(5)};
+  const auto t = mip_awareness_time(c, Duration::seconds(4),
+                                    Duration::milliseconds(20), kLink,
+                                    Duration::seconds(1));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, at_s(12) + Duration::milliseconds(1));
+}
+
+TEST(MipAwareness, MissesWhenBeaconsNeverAlign) {
+  // Windows at 0, 10, 20...; contact [11, 13) beacons at 11, 12: no window.
+  const Contact c{at_s(11), Duration::seconds(2)};
+  EXPECT_FALSE(mip_awareness_time(c, Duration::seconds(10),
+                                  Duration::milliseconds(20), kLink,
+                                  Duration::seconds(1))
+                   .has_value());
+}
+
+TEST(MipAwareness, SnipBeatsMipAtLowDuty) {
+  // The qualitative claim of Sec. III: at equal (low) sensor duty, SNIP
+  // probes contacts MIP misses, because SNIP needs only a wakeup inside
+  // the contact while MIP needs beacon/window alignment.
+  const Duration ton = Duration::milliseconds(20);
+  const Duration cycle = Duration::seconds(2);  // duty 1%
+  int snip_hits = 0;
+  int mip_hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Contact c{at_s(10.0 + i * 37.123), Duration::seconds(2)};
+    snip_hits += snip_awareness_time(c, cycle, ton, kLink).has_value();
+    mip_hits += mip_awareness_time(c, cycle, ton, kLink,
+                                   Duration::milliseconds(100))
+                    .has_value();
+  }
+  // Cycle == contact length: a wakeup always lands inside, except the rare
+  // landing too close to departure for the 2 ms exchange.
+  EXPECT_GE(snip_hits, 498);
+  EXPECT_LT(mip_hits, snip_hits / 2);
+}
+
+TEST(ProbedCapacity, MeasuresAwarenessToDeparture) {
+  const Contact c{at_s(10), Duration::seconds(2)};
+  EXPECT_EQ(probed_capacity(c, at_s(10.5)), Duration::seconds(1.5));
+  EXPECT_EQ(probed_capacity(c, std::nullopt), Duration::zero());
+  EXPECT_EQ(probed_capacity(c, at_s(12)), Duration::zero());
+  EXPECT_EQ(probed_capacity(c, at_s(13)), Duration::zero());
+}
+
+}  // namespace
+}  // namespace snipr::radio

@@ -1,0 +1,142 @@
+#include "snipr/sim/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snipr/stats/online_stats.hpp"
+
+namespace snipr::sim {
+namespace {
+
+stats::OnlineStats sample_stats(const Distribution& dist, int n,
+                                std::uint64_t seed) {
+  Rng rng{seed};
+  stats::OnlineStats s;
+  for (int i = 0; i < n; ++i) s.add(dist.sample(rng));
+  return s;
+}
+
+TEST(FixedDistribution, AlwaysReturnsValue) {
+  const FixedDistribution d{2.0};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(FixedDistribution, RejectsNonPositive) {
+  EXPECT_THROW(FixedDistribution{0.0}, std::invalid_argument);
+  EXPECT_THROW(FixedDistribution{-1.0}, std::invalid_argument);
+}
+
+TEST(FixedDistribution, CloneIsEquivalent) {
+  const FixedDistribution d{3.5};
+  const auto c = d.clone();
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(c->sample(rng), 3.5);
+  EXPECT_DOUBLE_EQ(c->mean(), 3.5);
+}
+
+TEST(TruncatedNormal, MatchesMoments) {
+  // The paper's jitter: stddev = mean/10 — truncation is negligible.
+  const TruncatedNormalDistribution d{300.0, 30.0};
+  const auto s = sample_stats(d, 100000, 5);
+  EXPECT_NEAR(s.mean(), 300.0, 1.0);
+  EXPECT_NEAR(s.stddev(), 30.0, 1.0);
+}
+
+TEST(TruncatedNormal, RespectsLowerBound) {
+  // Aggressive truncation: mean 1, stddev 2, bound 0.
+  const TruncatedNormalDistribution d{1.0, 2.0, 0.0};
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+TEST(TruncatedNormal, ZeroStddevIsDeterministic) {
+  const TruncatedNormalDistribution d{5.0, 0.0};
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(d.sample(rng), 5.0);
+}
+
+TEST(TruncatedNormal, RejectsBadParameters) {
+  EXPECT_THROW((TruncatedNormalDistribution{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((TruncatedNormalDistribution{-2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((TruncatedNormalDistribution{1.0, -0.5}),
+               std::invalid_argument);
+  // mean below the lower bound
+  EXPECT_THROW((TruncatedNormalDistribution{1.0, 1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Exponential, MatchesMeanAndVariance) {
+  const ExponentialDistribution d{2.0};
+  const auto s = sample_stats(d, 200000, 21);
+  EXPECT_NEAR(s.mean(), 2.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);  // exponential: stddev == mean
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Exponential, SamplesArePositive) {
+  const ExponentialDistribution d{0.5};
+  Rng rng{33};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  EXPECT_THROW(ExponentialDistribution{0.0}, std::invalid_argument);
+}
+
+TEST(Lognormal, MatchesArithmeticMean) {
+  const LognormalDistribution d{2.0, 0.5};
+  const auto s = sample_stats(d, 300000, 55);
+  EXPECT_NEAR(s.mean(), 2.0, 0.03);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Lognormal, ZeroSigmaIsDeterministic) {
+  const LognormalDistribution d{3.0, 0.0};
+  Rng rng{1};
+  EXPECT_NEAR(d.sample(rng), 3.0, 1e-12);
+}
+
+TEST(Lognormal, RejectsBadParameters) {
+  EXPECT_THROW((LognormalDistribution{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((LognormalDistribution{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(StandardNormal, Moments) {
+  Rng rng{77};
+  stats::OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(standard_normal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(StandardNormal, SymmetricTails) {
+  Rng rng{99};
+  int above = 0;
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = standard_normal(rng);
+    if (x > 1.0) ++above;
+    if (x < -1.0) ++below;
+  }
+  // P(X > 1) ~ 15.87%.
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.1587, 0.01);
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.1587, 0.01);
+}
+
+TEST(Distributions, CloneDeepCopies) {
+  std::unique_ptr<Distribution> original =
+      std::make_unique<ExponentialDistribution>(4.0);
+  auto copy = original->clone();
+  original.reset();
+  Rng rng{3};
+  EXPECT_GT(copy->sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(copy->mean(), 4.0);
+}
+
+}  // namespace
+}  // namespace snipr::sim

@@ -1,0 +1,121 @@
+#include "snipr/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snipr::sim {
+namespace {
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_s(3), [&] { order.push_back(3); });
+  q.schedule(at_s(1), [&] { order.push_back(1); });
+  q.schedule(at_s(2), [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimestampsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_s(5), [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.pop()) e->fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(at_s(1), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(at_s(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(at_s(1), [] {});
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, id);
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(at_s(1), [] {});
+  q.schedule(at_s(2), [] {});
+  EXPECT_EQ(q.next_time(), at_s(1));
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_EQ(q.next_time(), at_s(2));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(at_s(1), [] {});
+  q.schedule(at_s(2), [] {});
+  EXPECT_EQ(q.size(), 2U);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1U);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyQueueBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.next_time().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PoppedCarriesTimestampAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(at_s(4), [] {});
+  const auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->at, at_s(4));
+  EXPECT_EQ(e->id, id);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(at_s(100 - i), [] {}));
+  }
+  // Cancel every other event.
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 50U);
+  TimePoint last = TimePoint::zero();
+  std::size_t popped = 0;
+  while (auto e = q.pop()) {
+    EXPECT_GE(e->at, last);
+    last = e->at;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50U);
+}
+
+}  // namespace
+}  // namespace snipr::sim

@@ -1,0 +1,118 @@
+#include "snipr/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snipr::sim {
+namespace {
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator s;
+  EXPECT_EQ(s.now(), TimePoint::zero());
+  EXPECT_EQ(s.pending(), 0U);
+}
+
+TEST(Simulator, RunExecutesInOrderAndAdvancesClock) {
+  Simulator s;
+  std::vector<double> fire_times;
+  s.schedule_at(at_s(2), [&] { fire_times.push_back(s.now().to_seconds()); });
+  s.schedule_at(at_s(1), [&] { fire_times.push_back(s.now().to_seconds()); });
+  const std::size_t n = s.run();
+  EXPECT_EQ(n, 2U);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.now(), at_s(2));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator s;
+  s.schedule_at(at_s(5), [&] {
+    s.schedule_after(Duration::seconds(3), [&] { EXPECT_EQ(s.now(), at_s(8)); });
+  });
+  s.run();
+  EXPECT_EQ(s.now(), at_s(8));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(at_s(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(at_s(5), [] {}), std::logic_error);
+  EXPECT_THROW(s.schedule_after(Duration::seconds(-1), [] {}),
+               std::logic_error);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndIdlesForward) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(at_s(1), [&] { ++fired; });
+  s.schedule_at(at_s(10), [&] { ++fired; });
+  const std::size_t n = s.run_until(at_s(5));
+  EXPECT_EQ(n, 1U);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), at_s(5));  // idle advance
+  EXPECT_EQ(s.pending(), 1U);
+  s.run_until(at_s(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(at_s(5), [&] { ran = true; });
+  s.run_until(at_s(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilBackwardsThrows) {
+  Simulator s;
+  s.run_until(at_s(5));
+  EXPECT_THROW(s.run_until(at_s(1)), std::logic_error);
+}
+
+TEST(Simulator, CancelledEventNeverFires) {
+  Simulator s;
+  bool ran = false;
+  const EventId id = s.schedule_at(at_s(1), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepLimitsExecution) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) s.schedule_at(at_s(i), [&] { ++fired; });
+  EXPECT_EQ(s.step(2), 2U);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 3U);
+}
+
+TEST(Simulator, EventsCanScheduleRecursively) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) s.schedule_after(Duration::seconds(1), tick);
+  };
+  s.schedule_at(at_s(1), tick);
+  s.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.now(), at_s(100));
+}
+
+TEST(Simulator, SeededRngIsDeterministic) {
+  Simulator a{99};
+  Simulator b{99};
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(Simulator, TwoWeekClockIsExact) {
+  Simulator s;
+  s.run_until(TimePoint::zero() + Duration::hours(24) * 14);
+  EXPECT_EQ(s.now().count(), 14LL * 86400 * 1'000'000);
+}
+
+}  // namespace
+}  // namespace snipr::sim

@@ -1,0 +1,100 @@
+#include "snipr/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 4}), std::invalid_argument);
+  EXPECT_THROW((Histogram{2.0, 1.0, 4}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdges) {
+  const Histogram h{0.0, 24.0, 24};
+  EXPECT_EQ(h.bin_count(), 24U);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(23), 23.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(23), 24.0);
+  EXPECT_THROW((void)h.bin_lo(24), std::out_of_range);
+}
+
+TEST(Histogram, SamplesLandInCorrectBins) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.0);    // bin 0 (inclusive low edge)
+  h.add(0.999);  // bin 0
+  h.add(5.0);    // bin 5
+  h.add(9.999);  // bin 9
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-0.5);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, FractionIgnoresOutOfRange) {
+  Histogram h{0.0, 1.0, 1};
+  h.add(0.5);
+  h.add(5.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.fraction(0), 1.0);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  const Histogram h{0.0, 1.0, 2};
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h{0.0, 3.0, 3};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  EXPECT_EQ(h.mode_bin(), 1U);
+}
+
+TEST(Histogram, ModeOfEmptyThrows) {
+  const Histogram h{0.0, 1.0, 2};
+  EXPECT_THROW((void)h.mode_bin(), std::logic_error);
+}
+
+TEST(Histogram, RenderContainsOneRowPerBin) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(out.find("[1, 2)"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.5);
+  h.add(-1.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+}
+
+}  // namespace
+}  // namespace snipr::stats

@@ -1,0 +1,98 @@
+#include "snipr/stats/online_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snipr::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  const OnlineStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);          // population
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, tiny variance.
+  OnlineStats s;
+  const double base = 1e9;
+  for (const double x : {base + 1.0, base + 2.0, base + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), base + 2.0, 1e-3);
+  EXPECT_NEAR(s.sample_variance(), 1.0, 1e-6);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStats, MinMaxTrackNegatives) {
+  OnlineStats s;
+  s.add(-5.0);
+  s.add(3.0);
+  s.add(-10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace snipr::stats

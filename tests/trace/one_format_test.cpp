@@ -1,0 +1,130 @@
+#include "snipr/trace/one_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "snipr/contact/schedule.hpp"
+
+namespace snipr::trace {
+namespace {
+
+using contact::Contact;
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
+
+std::vector<Contact> parse(const std::string& text,
+                           const std::string& host = "s0") {
+  std::istringstream is{text};
+  return read_one_connectivity(is, host);
+}
+
+TEST(OneFormat, SingleContact) {
+  const auto contacts = parse(
+      "100 CONN s0 m1 up\n"
+      "102 CONN s0 m1 down\n");
+  ASSERT_EQ(contacts.size(), 1U);
+  EXPECT_EQ(contacts[0].arrival, at_s(100));
+  EXPECT_EQ(contacts[0].length, Duration::seconds(2));
+}
+
+TEST(OneFormat, HostMayBeEitherColumn) {
+  const auto contacts = parse(
+      "10 CONN m7 s0 up\n"
+      "15 CONN m7 s0 down\n");
+  ASSERT_EQ(contacts.size(), 1U);
+  EXPECT_EQ(contacts[0].length, Duration::seconds(5));
+}
+
+TEST(OneFormat, IgnoresOtherHostsAndComments) {
+  const auto contacts = parse(
+      "# ConnectivityONEReport\n"
+      "5 CONN a b up\n"
+      "10 CONN s0 m1 up\n"
+      "11 CONN a b down\n"
+      "12 CONN s0 m1 down\n");
+  ASSERT_EQ(contacts.size(), 1U);
+  EXPECT_EQ(contacts[0].arrival, at_s(10));
+}
+
+TEST(OneFormat, InterleavedPeersMerge) {
+  // m1 is up [10, 14), m2 overlaps [12, 16): one merged contact [10, 16).
+  const auto contacts = parse(
+      "10 CONN s0 m1 up\n"
+      "12 CONN s0 m2 up\n"
+      "14 CONN s0 m1 down\n"
+      "16 CONN s0 m2 down\n");
+  ASSERT_EQ(contacts.size(), 1U);
+  EXPECT_EQ(contacts[0].arrival, at_s(10));
+  EXPECT_EQ(contacts[0].departure(), at_s(16));
+}
+
+TEST(OneFormat, DisjointContactsStaySeparate) {
+  const auto contacts = parse(
+      "10 CONN s0 m1 up\n"
+      "12 CONN s0 m1 down\n"
+      "100 CONN s0 m2 up\n"
+      "103 CONN s0 m2 down\n");
+  ASSERT_EQ(contacts.size(), 2U);
+  EXPECT_EQ(contacts[1].length, Duration::seconds(3));
+}
+
+TEST(OneFormat, DanglingUpClosesAtLastEvent) {
+  const auto contacts = parse(
+      "10 CONN s0 m1 up\n"
+      "50 CONN a b up\n");
+  ASSERT_EQ(contacts.size(), 1U);
+  EXPECT_EQ(contacts[0].departure(), at_s(50));
+}
+
+TEST(OneFormat, ZeroLengthContactsDropped) {
+  const auto contacts = parse(
+      "10 CONN s0 m1 up\n"
+      "10 CONN s0 m1 down\n");
+  EXPECT_TRUE(contacts.empty());
+}
+
+TEST(OneFormat, SkipsNonConnReports) {
+  const auto contacts = parse(
+      "10 M s0 m1 somethingelse\n"
+      "12 CONN s0 m1 up\n"
+      "14 CONN s0 m1 down\n");
+  ASSERT_EQ(contacts.size(), 1U);
+}
+
+TEST(OneFormat, MalformedInputsThrowWithLineNumbers) {
+  EXPECT_THROW((void)parse("abc CONN s0 m1 up\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("10 CONN s0 m1 sideways\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("10 CONN s0 m1 down\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("10 CONN s0\n"), std::runtime_error);
+  // Non-monotonic timestamps.
+  EXPECT_THROW((void)parse("10 CONN s0 m1 up\n5 CONN s0 m1 down\n"),
+               std::runtime_error);
+  try {
+    (void)parse("10 CONN s0 m1 up\nbroken\n");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(OneFormat, MissingFileThrows) {
+  EXPECT_THROW((void)read_one_connectivity_file("/no/such/file.txt", "s0"),
+               std::runtime_error);
+}
+
+TEST(OneFormat, RoundTripIntoPipeline) {
+  // Imported contacts drive the normal trace pipeline.
+  const auto contacts = parse(
+      "100 CONN s0 m1 up\n"
+      "102 CONN s0 m1 down\n"
+      "400 CONN s0 m2 up\n"
+      "403 CONN s0 m2 down\n");
+  EXPECT_NO_THROW(contact::ContactSchedule{contacts});
+  EXPECT_EQ(contact::total_capacity(contacts), Duration::seconds(5));
+}
+
+}  // namespace
+}  // namespace snipr::trace

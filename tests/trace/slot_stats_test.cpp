@@ -1,0 +1,84 @@
+#include "snipr/trace/slot_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snipr/contact/process.hpp"
+
+namespace snipr::trace {
+namespace {
+
+using contact::ArrivalProfile;
+using contact::Contact;
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(TraceSlotStats, CountsAndCapacityPerSlot) {
+  const ArrivalProfile layout = ArrivalProfile::roadside();
+  std::vector<Contact> contacts{
+      {TimePoint::zero() + Duration::hours(7) + Duration::minutes(1),
+       Duration::seconds(2)},
+      {TimePoint::zero() + Duration::hours(7) + Duration::minutes(30),
+       Duration::seconds(4)},
+      {TimePoint::zero() + Duration::hours(12), Duration::seconds(2)},
+  };
+  const TraceSlotStats stats{contacts, layout};
+  EXPECT_EQ(stats.slot(7).contact_count, 2U);
+  EXPECT_EQ(stats.slot(7).capacity, Duration::seconds(6));
+  EXPECT_DOUBLE_EQ(stats.slot(7).mean_length_s, 3.0);
+  EXPECT_EQ(stats.slot(12).contact_count, 1U);
+  EXPECT_EQ(stats.slot(3).contact_count, 0U);
+  EXPECT_DOUBLE_EQ(stats.slot(3).est_mean_interval_s, 0.0);
+}
+
+TEST(TraceSlotStats, EpochInference) {
+  const ArrivalProfile layout = ArrivalProfile::roadside();
+  std::vector<Contact> contacts{
+      {TimePoint::zero() + Duration::hours(5), Duration::seconds(2)},
+      {TimePoint::zero() + Duration::hours(29), Duration::seconds(2)},
+  };
+  const TraceSlotStats stats{contacts, layout};
+  EXPECT_EQ(stats.epochs_observed(), 2);
+  EXPECT_DOUBLE_EQ(stats.slot(5).contacts_per_epoch, 1.0);  // 2 over 2 epochs
+}
+
+TEST(TraceSlotStats, EmptyTraceIsOneEpoch) {
+  const TraceSlotStats stats{{}, ArrivalProfile::roadside()};
+  EXPECT_EQ(stats.epochs_observed(), 1);
+  EXPECT_EQ(stats.slot(0).contact_count, 0U);
+}
+
+TEST(TraceSlotStats, SlotsByCountRanksRushHoursFirst) {
+  const ArrivalProfile layout = ArrivalProfile::roadside();
+  contact::IntervalContactProcess process{
+      layout, std::make_unique<sim::FixedDistribution>(2.0)};
+  sim::Rng rng{1};
+  const auto contacts =
+      contact::materialize(process, Duration::hours(24) * 7, rng);
+  const TraceSlotStats stats{contacts, layout};
+  const auto order = stats.slots_by_count();
+  // The first four slots by count are exactly the rush hours.
+  std::vector<contact::SlotIndex> top{order.begin(), order.begin() + 4};
+  std::sort(top.begin(), top.end());
+  EXPECT_EQ(top, (std::vector<contact::SlotIndex>{7, 8, 17, 18}));
+}
+
+TEST(TraceSlotStats, EstimateProfileRecoversRates) {
+  const ArrivalProfile layout = ArrivalProfile::roadside();
+  contact::IntervalContactProcess process{
+      layout, std::make_unique<sim::FixedDistribution>(2.0)};
+  sim::Rng rng{2};
+  const auto contacts =
+      contact::materialize(process, Duration::hours(24) * 10, rng);
+  const TraceSlotStats stats{contacts, layout};
+  const ArrivalProfile estimated = stats.estimate_profile();
+  EXPECT_NEAR(estimated.mean_interval_s(7), 300.0, 30.0);
+  EXPECT_NEAR(estimated.mean_interval_s(3), 1800.0, 180.0);
+}
+
+TEST(TraceSlotStats, OutOfRangeSlotThrows) {
+  const TraceSlotStats stats{{}, ArrivalProfile::roadside()};
+  EXPECT_THROW((void)stats.slot(24), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace snipr::trace
