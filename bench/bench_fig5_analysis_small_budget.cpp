@@ -20,7 +20,7 @@ int main() {
 
   bench::print_figure(
       "Fig. 5: analysis, small budget (Tepoch/1000)", phi_max,
-      [&](const char* mech, double target) {
+      [&](core::Strategy mech, double target) {
         return bench::analysis_point(sc, m, mech, target, phi_max);
       });
 

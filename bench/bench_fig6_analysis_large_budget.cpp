@@ -18,7 +18,7 @@ int main() {
 
   bench::print_figure(
       "Fig. 6: analysis, large budget (Tepoch/100)", phi_max,
-      [&](const char* mech, double target) {
+      [&](core::Strategy mech, double target) {
         return bench::analysis_point(sc, m, mech, target, phi_max);
       });
 

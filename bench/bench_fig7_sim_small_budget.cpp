@@ -7,19 +7,18 @@
 /// every target; RH tracks the target up to ~24 s then saturates near the
 /// 28.8 s budget cap; RH's simulated Φ sits at or below the fluid 3·ζ
 /// bound because condition 2 pauses probing while data accumulates.
+///
+/// The mechanism × ζtarget grid runs through the shared BatchRunner pool;
+/// pass a path argument to also dump the aggregate JSON.
 
 #include "figure_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snipr;
 
   const core::RoadsideScenario sc;
-  const double phi_max = sc.phi_max_small_s();
-
-  bench::print_figure(
-      "Fig. 7: simulation (14 epochs), small budget (Tepoch/1000)", phi_max,
-      [&](const char* mech, double target) {
-        return bench::simulation_point(sc, mech, target, phi_max, 1234);
-      });
-  return 0;
+  const bool ok = bench::print_simulated_figure(
+      "Fig. 7: simulation (14 epochs), small budget (Tepoch/1000)", sc,
+      sc.phi_max_small_s(), 1234, argc > 1 ? argv[1] : nullptr);
+  return ok ? 0 : 1;
 }

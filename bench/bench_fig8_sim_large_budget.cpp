@@ -4,19 +4,18 @@
 /// Shape expectations vs. the Fig. 6 analysis: AT meets every target at
 /// ρ ≈ 9.8; RH meets targets up to 48 s at a several-fold lower Φ and
 /// saturates below 56 s (rush-hour capacity exhausted); OPT follows RH.
+///
+/// The mechanism × ζtarget grid runs through the shared BatchRunner pool;
+/// pass a path argument to also dump the aggregate JSON.
 
 #include "figure_helpers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snipr;
 
   const core::RoadsideScenario sc;
-  const double phi_max = sc.phi_max_large_s();
-
-  bench::print_figure(
-      "Fig. 8: simulation (14 epochs), large budget (Tepoch/100)", phi_max,
-      [&](const char* mech, double target) {
-        return bench::simulation_point(sc, mech, target, phi_max, 5678);
-      });
-  return 0;
+  const bool ok = bench::print_simulated_figure(
+      "Fig. 8: simulation (14 epochs), large budget (Tepoch/100)", sc,
+      sc.phi_max_large_s(), 5678, argc > 1 ? argv[1] : nullptr);
+  return ok ? 0 : 1;
 }

@@ -27,6 +27,7 @@ struct Contact {
 };
 
 /// Total contact capacity (Σ Tcontact) of a set of contacts.
-[[nodiscard]] sim::Duration total_capacity(const std::vector<Contact>& contacts);
+[[nodiscard]] sim::Duration total_capacity(
+    const std::vector<Contact>& contacts);
 
 }  // namespace snipr::contact

@@ -58,7 +58,8 @@ struct EnergyModel {
   }
 
   /// Energy drawn by `span` spent in state `s`, in Joules.
-  [[nodiscard]] double energy_j(RadioState s, sim::Duration span) const noexcept {
+  [[nodiscard]] double energy_j(RadioState s,
+                                sim::Duration span) const noexcept {
     return power_w(s) * span.to_seconds();
   }
 

@@ -78,8 +78,8 @@ class SensorNode {
  public:
   /// All references must outlive the node. Call start() once before
   /// running the simulator.
-  SensorNode(sim::Simulator& simulator, radio::Channel& channel, MobileNode& sink,
-             Scheduler& scheduler, SensorNodeConfig config);
+  SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+             MobileNode& sink, Scheduler& scheduler, SensorNodeConfig config);
 
   /// Schedule the first CPU wakeup and the epoch-boundary bookkeeping.
   void start();

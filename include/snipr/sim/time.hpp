@@ -20,10 +20,12 @@ class Duration {
   constexpr Duration() noexcept = default;
 
   /// Named constructors. Fractional inputs round to the nearest microsecond.
-  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) noexcept {
+  [[nodiscard]] static constexpr Duration microseconds(
+      std::int64_t us) noexcept {
     return Duration{us};
   }
-  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) noexcept {
+  [[nodiscard]] static constexpr Duration milliseconds(
+      std::int64_t ms) noexcept {
     return Duration{ms * 1000};
   }
   [[nodiscard]] static constexpr Duration seconds(std::int64_t s) noexcept {
@@ -41,7 +43,9 @@ class Duration {
   [[nodiscard]] static constexpr Duration hours(std::int64_t h) noexcept {
     return Duration{h * 3600 * 1'000'000};
   }
-  [[nodiscard]] static constexpr Duration zero() noexcept { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration zero() noexcept {
+    return Duration{0};
+  }
   [[nodiscard]] static constexpr Duration max() noexcept {
     return Duration{INT64_MAX};
   }
@@ -67,10 +71,12 @@ class Duration {
     return *this;
   }
 
-  [[nodiscard]] friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+  [[nodiscard]] friend constexpr Duration operator+(Duration a,
+                                                    Duration b) noexcept {
     return Duration{a.us_ + b.us_};
   }
-  [[nodiscard]] friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+  [[nodiscard]] friend constexpr Duration operator-(Duration a,
+                                                    Duration b) noexcept {
     return Duration{a.us_ - b.us_};
   }
   [[nodiscard]] friend constexpr Duration operator-(Duration a) noexcept {
@@ -87,7 +93,8 @@ class Duration {
                                                     std::int64_t k) noexcept {
     return Duration{a.us_ * k};
   }
-  [[nodiscard]] friend constexpr Duration operator*(Duration a, int k) noexcept {
+  [[nodiscard]] friend constexpr Duration operator*(Duration a,
+                                                    int k) noexcept {
     return a * static_cast<std::int64_t>(k);
   }
   [[nodiscard]] friend constexpr Duration operator/(Duration a,
@@ -95,7 +102,8 @@ class Duration {
     return Duration{a.us_ / k};
   }
   /// Ratio of two spans (e.g. duty-cycle = on / cycle).
-  [[nodiscard]] friend constexpr double operator/(Duration a, Duration b) noexcept {
+  [[nodiscard]] friend constexpr double operator/(Duration a,
+                                                  Duration b) noexcept {
     return static_cast<double>(a.us_) / static_cast<double>(b.us_);
   }
 
@@ -113,7 +121,9 @@ class TimePoint {
  public:
   constexpr TimePoint() noexcept = default;
 
-  [[nodiscard]] static constexpr TimePoint zero() noexcept { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint zero() noexcept {
+    return TimePoint{};
+  }
   [[nodiscard]] static constexpr TimePoint max() noexcept {
     return TimePoint{Duration::max()};
   }
@@ -123,7 +133,9 @@ class TimePoint {
 
   /// Elapsed time since the simulation origin.
   [[nodiscard]] constexpr Duration since_origin() const noexcept { return d_; }
-  [[nodiscard]] constexpr std::int64_t count() const noexcept { return d_.count(); }
+  [[nodiscard]] constexpr std::int64_t count() const noexcept {
+    return d_.count();
+  }
   [[nodiscard]] constexpr double to_seconds() const noexcept {
     return d_.to_seconds();
   }

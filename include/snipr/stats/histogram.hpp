@@ -18,7 +18,9 @@ class Histogram {
 
   void add(double sample, double weight = 1.0);
 
-  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
   [[nodiscard]] double count(std::size_t bin) const;

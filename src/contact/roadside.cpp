@@ -51,7 +51,8 @@ RoadsideGeometry::RoadsideGeometry(double range_m,
     throw std::invalid_argument("RoadsideGeometry: range must be > 0");
   }
   if (speed_mps_ == nullptr) {
-    throw std::invalid_argument("RoadsideGeometry: speed distribution required");
+    throw std::invalid_argument(
+        "RoadsideGeometry: speed distribution required");
   }
   if (max_offset_m < 0.0 || max_offset_m >= range_m) {
     throw std::invalid_argument(

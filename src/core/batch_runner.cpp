@@ -1,0 +1,294 @@
+#include "snipr/core/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace snipr::core {
+
+ExperimentConfig BatchRun::experiment_config() const {
+  ExperimentConfig config;
+  config.epochs = epochs;
+  config.phi_max_s = phi_max_s;
+  config.sensing_rate_bps = scenario.sensing_rate_for_target(zeta_target_s);
+  config.jitter = jitter;
+  config.seed = seed;
+  config.warmup_epochs = warmup_epochs;
+  return config;
+}
+
+std::vector<BatchRun> expand_sweep(const SweepSpec& sweep) {
+  std::vector<BatchRun> runs;
+  runs.reserve(sweep.strategies.size() * sweep.zeta_targets_s.size() *
+               sweep.phi_maxes_s.size() * sweep.seeds.size());
+  for (const Strategy strategy : sweep.strategies) {
+    for (const double target : sweep.zeta_targets_s) {
+      for (const double phi_max : sweep.phi_maxes_s) {
+        for (const std::uint64_t seed : sweep.seeds) {
+          BatchRun run;
+          run.label = sweep.label;
+          run.scenario = sweep.scenario;
+          run.strategy = strategy;
+          run.zeta_target_s = target;
+          run.phi_max_s = phi_max;
+          run.seed = seed;
+          run.epochs = sweep.epochs;
+          run.warmup_epochs = sweep.warmup_epochs;
+          run.jitter = sweep.jitter;
+          runs.push_back(std::move(run));
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+BatchRunner::BatchRunner(Config config) : threads_(config.threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+namespace {
+
+BatchRunResult execute_one(const BatchRun& spec) {
+  std::unique_ptr<node::Scheduler> scheduler =
+      spec.scheduler_factory
+          ? spec.scheduler_factory()
+          : make_scheduler(spec.scenario, spec.strategy, spec.zeta_target_s,
+                           spec.phi_max_s);
+  BatchRunResult result;
+  result.label = spec.label;
+  result.strategy = spec.strategy;
+  result.zeta_target_s = spec.zeta_target_s;
+  result.phi_max_s = spec.phi_max_s;
+  result.seed = spec.seed;
+  result.run =
+      run_experiment(spec.scenario, *scheduler, spec.experiment_config());
+  return result;
+}
+
+}  // namespace
+
+std::vector<BatchRunResult> BatchRunner::run(
+    const std::vector<BatchRun>& runs) const {
+  std::vector<BatchRunResult> results(runs.size());
+  if (runs.empty()) return results;
+
+  const std::size_t workers = std::min(threads_, runs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      results[i] = execute_one(runs[i]);
+    }
+    return results;
+  }
+
+  // Work stealing over a shared index: result slot i belongs to spec i, so
+  // assignment order cannot influence output order, and each run seeds its
+  // own Simulator, so streams never interleave across workers.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs.size()) return;
+      try {
+        results[i] = execute_one(runs[i]);
+      } catch (...) {
+        const std::scoped_lock lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<BatchAggregate> BatchRunner::aggregate(
+    const std::vector<BatchRunResult>& results) {
+  std::vector<BatchAggregate> cells;
+  // First-appearance order with O(1) grouping: the key round-trips the
+  // doubles exactly ("%.17g"), so identical spec values always collide.
+  std::unordered_map<std::string, std::size_t> cell_index;
+  for (const BatchRunResult& r : results) {
+    char point[80];
+    // Length-prefixing the label makes the key collision-proof even for
+    // labels containing the separator.
+    std::snprintf(point, sizeof point, "%zu|%d|%.17g|%.17g", r.label.size(),
+                  static_cast<int>(r.strategy), r.zeta_target_s,
+                  r.phi_max_s);
+    const auto [it, inserted] =
+        cell_index.try_emplace(point + r.label, cells.size());
+    if (inserted) {
+      cells.emplace_back();
+      BatchAggregate& fresh = cells.back();
+      fresh.label = r.label;
+      fresh.strategy = r.strategy;
+      fresh.zeta_target_s = r.zeta_target_s;
+      fresh.phi_max_s = r.phi_max_s;
+    }
+    BatchAggregate* cell = &cells[it->second];
+    cell->seeds += 1;
+    cell->mean_zeta_s += r.run.mean_zeta_s;
+    cell->mean_phi_s += r.run.mean_phi_s;
+    cell->mean_miss_ratio += r.run.miss_ratio;
+    cell->mean_probes_issued += r.run.mean_wakeups;
+    cell->mean_energy_per_contact_j += r.energy_per_contact_j();
+    cell->mean_probing_energy_j += r.run.probing_energy_j;
+    cell->mean_delivery_latency_s += r.run.mean_delivery_latency_s;
+  }
+  for (BatchAggregate& cell : cells) {
+    const auto n = static_cast<double>(cell.seeds);
+    cell.mean_zeta_s /= n;
+    cell.mean_phi_s /= n;
+    cell.mean_miss_ratio /= n;
+    cell.mean_probes_issued /= n;
+    cell.mean_energy_per_contact_j /= n;
+    cell.mean_probing_energy_j /= n;
+    cell.mean_delivery_latency_s /= n;
+  }
+  return cells;
+}
+
+namespace {
+
+/// Minimal deterministic JSON building: fixed field order, "%.10g"
+/// doubles, no locale dependence (snprintf with the C locale's point —
+/// metrics never pass through iostreams).
+void append_number(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+void append_field(std::string& out, const char* key, double value,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_number(out, value);
+  if (comma) out += ',';
+}
+
+void append_uint_field(std::string& out, const char* key,
+                       std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buffer;
+  out += ',';
+}
+
+void append_string_field(std::string& out, const char* key,
+                         std::string_view value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof escaped, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += escaped;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\",";
+}
+
+}  // namespace
+
+std::string BatchRunner::to_json(const std::vector<BatchRunResult>& results) {
+  std::string out;
+  out.reserve(512 + 512 * results.size());
+  out += "{\"schema\":\"snipr.batch.v1\",\"runs\":[";
+  bool first = true;
+  for (const BatchRunResult& r : results) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_string_field(out, "label", r.label);
+    append_string_field(out, "strategy", strategy_id(r.strategy));
+    append_field(out, "target_s", r.zeta_target_s);
+    append_field(out, "phi_max_s", r.phi_max_s);
+    append_uint_field(out, "seed", r.seed);
+    append_uint_field(out, "epochs", r.run.epochs);
+    append_field(out, "zeta_s", r.run.mean_zeta_s);
+    append_field(out, "phi_s", r.run.mean_phi_s);
+    append_field(out, "rho", r.run.rho());
+    append_field(out, "miss_ratio", r.run.miss_ratio);
+    append_field(out, "probes_issued", r.run.mean_wakeups);
+    append_field(out, "energy_per_contact_j", r.energy_per_contact_j());
+    append_field(out, "probing_energy_j", r.run.probing_energy_j);
+    append_field(out, "transfer_energy_j", r.run.transfer_energy_j);
+    append_field(out, "latency_s", r.run.mean_delivery_latency_s,
+                 /*comma=*/false);
+    out += '}';
+  }
+  out += "],\"aggregates\":[";
+  first = true;
+  for (const BatchAggregate& cell : aggregate(results)) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_string_field(out, "label", cell.label);
+    append_string_field(out, "strategy", strategy_id(cell.strategy));
+    append_field(out, "target_s", cell.zeta_target_s);
+    append_field(out, "phi_max_s", cell.phi_max_s);
+    append_uint_field(out, "seeds", cell.seeds);
+    append_field(out, "zeta_s", cell.mean_zeta_s);
+    append_field(out, "phi_s", cell.mean_phi_s);
+    append_field(out, "rho", cell.rho());
+    append_field(out, "miss_ratio", cell.mean_miss_ratio);
+    append_field(out, "probes_issued", cell.mean_probes_issued);
+    append_field(out, "energy_per_contact_j", cell.mean_energy_per_contact_j);
+    append_field(out, "probing_energy_j", cell.mean_probing_energy_j);
+    append_field(out, "latency_s", cell.mean_delivery_latency_s,
+                 /*comma=*/false);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool BatchRunner::write_json_file(const std::string& json, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    std::fprintf(stderr, "short write to %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snipr::core

@@ -57,7 +57,8 @@ node::SchedulerDecision SnipOpt::on_wakeup(const node::SensorContext& ctx) {
     // Budget spent: sleep to the end of the epoch (it resets there).
     const std::int64_t next_epoch =
         (ctx.now.count() / epoch_.count() + 1) * epoch_.count();
-    const auto wake = sim::TimePoint::at(sim::Duration::microseconds(next_epoch));
+    const auto wake =
+        sim::TimePoint::at(sim::Duration::microseconds(next_epoch));
     return {.probe = false,
             .next_wakeup = std::max(wake - ctx.now, sim::Duration::seconds(1))};
   }

@@ -43,7 +43,8 @@ node::SchedulerDecision SnipRh::on_wakeup(const node::SensorContext& ctx) {
     // Budget resets at the next epoch boundary.
     const std::int64_t epoch_us = mask_.epoch().count();
     const std::int64_t next_epoch = (ctx.now.count() / epoch_us + 1) * epoch_us;
-    const auto wake = sim::TimePoint::at(sim::Duration::microseconds(next_epoch));
+    const auto wake =
+        sim::TimePoint::at(sim::Duration::microseconds(next_epoch));
     return {.probe = false,
             .next_wakeup = std::max(wake - ctx.now, config_.min_sleep)};
   }

@@ -1,0 +1,82 @@
+#include "snipr/core/strategy.hpp"
+
+#include "snipr/core/adaptive_snip_rh.hpp"
+#include "snipr/core/snip_at.hpp"
+#include "snipr/core/snip_opt.hpp"
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/model/epoch_model.hpp"
+
+namespace snipr::core {
+
+std::string_view strategy_id(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kSnipAt:
+      return "at";
+    case Strategy::kSnipOpt:
+      return "opt";
+    case Strategy::kSnipRh:
+      return "rh";
+    case Strategy::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+std::string_view strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kSnipAt:
+      return "SNIP-AT";
+    case Strategy::kSnipOpt:
+      return "SNIP-OPT";
+    case Strategy::kSnipRh:
+      return "SNIP-RH";
+    case Strategy::kAdaptive:
+      return "SNIP-RH/adaptive";
+  }
+  return "unknown";
+}
+
+std::optional<Strategy> parse_strategy(std::string_view id) noexcept {
+  for (const Strategy strategy : all_strategies()) {
+    if (id == strategy_id(strategy) || id == strategy_name(strategy)) {
+      return strategy;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<node::Scheduler> make_scheduler(
+    const RoadsideScenario& scenario, Strategy strategy, double zeta_target_s,
+    double phi_max_s) {
+  const sim::Duration ton = sim::Duration::seconds(scenario.snip.ton_s);
+  switch (strategy) {
+    case Strategy::kSnipAt: {
+      const model::EpochModel model = scenario.make_model();
+      const auto plan = model.snip_at(zeta_target_s, phi_max_s);
+      return std::make_unique<SnipAt>(plan.duties[0], ton);
+    }
+    case Strategy::kSnipOpt: {
+      const model::EpochModel model = scenario.make_model();
+      const auto plan = model.snip_opt(zeta_target_s, phi_max_s);
+      return std::make_unique<SnipOpt>(plan.duties, scenario.profile.epoch(),
+                                       ton);
+    }
+    case Strategy::kSnipRh: {
+      SnipRhConfig config;
+      config.ton = ton;
+      config.initial_tcontact_s = scenario.tcontact_s;
+      return std::make_unique<SnipRh>(scenario.rush_mask, config);
+    }
+    case Strategy::kAdaptive: {
+      AdaptiveSnipRhConfig config;
+      config.rh.ton = ton;
+      config.rh.initial_tcontact_s = scenario.tcontact_s;
+      return std::make_unique<AdaptiveSnipRh>(scenario.profile.epoch(),
+                                              scenario.profile.slot_count(),
+                                              config);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace snipr::core

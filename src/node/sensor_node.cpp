@@ -87,7 +87,8 @@ void SensorNode::snip_wakeup() {
 
   bool probed = false;
   sim::TimePoint reply_end = beacon_end + link.reply_airtime;
-  if (reply_end <= listen_end && channel_.try_deliver(t0, link.beacon_airtime) &&
+  if (reply_end <= listen_end &&
+      channel_.try_deliver(t0, link.beacon_airtime) &&
       channel_.try_deliver(beacon_end, link.reply_airtime)) {
     probed = true;
   }

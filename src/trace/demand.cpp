@@ -32,8 +32,10 @@ HourlyWeights commuter_demand(std::size_t morning_peak_hour,
   };
   for (std::size_t h = 0; h < kHours; ++h) {
     const auto hour = static_cast<double>(h);
-    const double gm = circular_gap(hour, static_cast<double>(morning_peak_hour));
-    const double ge = circular_gap(hour, static_cast<double>(evening_peak_hour));
+    const double gm =
+        circular_gap(hour, static_cast<double>(morning_peak_hour));
+    const double ge =
+        circular_gap(hour, static_cast<double>(evening_peak_hour));
     const double bumps = std::exp(-gm * gm / (2.0 * sigma * sigma)) +
                          std::exp(-ge * ge / (2.0 * sigma * sigma));
     // Daytime shoulder between 6:00 and 21:00.

@@ -40,7 +40,8 @@ TEST(SnipAt, StopsWhenBudgetCannotAffordNextWakeup) {
             /*idle_check=*/Duration::minutes(5)};
   const Duration limit = Duration::seconds(1);
   // 990 ms used: 20 ms still fits.
-  auto d = at.on_wakeup(context_with_budget(Duration::milliseconds(980), limit));
+  auto d =
+      at.on_wakeup(context_with_budget(Duration::milliseconds(980), limit));
   EXPECT_TRUE(d.probe);
   // 990 ms used: the next 20 ms wakeup would overrun.
   d = at.on_wakeup(context_with_budget(Duration::milliseconds(990), limit));

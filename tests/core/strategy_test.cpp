@@ -1,0 +1,48 @@
+#include "snipr/core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snipr::core {
+namespace {
+
+TEST(StrategyTest, IdRoundTripsThroughParse) {
+  for (const Strategy strategy : all_strategies()) {
+    const auto parsed = parse_strategy(strategy_id(strategy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, strategy);
+  }
+}
+
+TEST(StrategyTest, NameRoundTripsThroughParse) {
+  for (const Strategy strategy : all_strategies()) {
+    const auto parsed = parse_strategy(strategy_name(strategy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, strategy);
+  }
+}
+
+TEST(StrategyTest, RejectsUnknownIds) {
+  EXPECT_FALSE(parse_strategy("").has_value());
+  EXPECT_FALSE(parse_strategy("snip").has_value());
+  EXPECT_FALSE(parse_strategy("AT ").has_value());
+}
+
+TEST(StrategyTest, MakeSchedulerCoversEveryStrategy) {
+  const RoadsideScenario scenario;
+  for (const Strategy strategy : all_strategies()) {
+    const auto scheduler = make_scheduler(scenario, strategy, 16.0, 86.4);
+    ASSERT_NE(scheduler, nullptr) << strategy_id(strategy);
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(StrategyTest, SchedulerNamesMatchStrategyNames) {
+  const RoadsideScenario scenario;
+  const auto rh = make_scheduler(scenario, Strategy::kSnipRh, 16.0, 86.4);
+  EXPECT_EQ(rh->name(), strategy_name(Strategy::kSnipRh));
+  const auto at = make_scheduler(scenario, Strategy::kSnipAt, 16.0, 86.4);
+  EXPECT_EQ(at->name(), strategy_name(Strategy::kSnipAt));
+}
+
+}  // namespace
+}  // namespace snipr::core

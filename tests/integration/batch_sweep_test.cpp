@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "snipr/core/batch_runner.hpp"
+
+/// Integration: a scaled-down Fig. 7 budget sweep (small budget
+/// Φmax = Tepoch/1000) through the parallel BatchRunner, checking the
+/// paper's qualitative boundaries survive the batch path end to end.
+
+namespace snipr::core {
+namespace {
+
+class BatchSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SweepSpec sweep;
+    sweep.label = "fig7-small-budget";
+    sweep.strategies = {Strategy::kSnipAt, Strategy::kSnipOpt,
+                        Strategy::kSnipRh};
+    sweep.zeta_targets_s = {16.0, 32.0, 56.0};
+    sweep.phi_maxes_s = {sweep.scenario.phi_max_small_s()};
+    sweep.seeds = {1234};
+    sweep.epochs = 7;  // one simulated week keeps the suite fast
+    results_ = new std::vector<BatchRunResult>{
+        BatchRunner{}.run(expand_sweep(sweep))};
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const BatchRunResult& at(Strategy strategy, double target) {
+    for (const BatchRunResult& r : *results_) {
+      if (r.strategy == strategy && r.zeta_target_s == target) return r;
+    }
+    throw std::logic_error{"missing grid point"};
+  }
+
+  static std::vector<BatchRunResult>* results_;
+};
+
+std::vector<BatchRunResult>* BatchSweepTest::results_ = nullptr;
+
+TEST_F(BatchSweepTest, GridIsComplete) {
+  EXPECT_EQ(results_->size(), 9u);
+}
+
+TEST_F(BatchSweepTest, AtIsCappedBelowEveryTarget) {
+  // Fig. 7a: the uniform duty meets none of the published targets under
+  // the small budget; its capacity stays near the fluid cap of 8.8 s.
+  for (const double target : {16.0, 32.0, 56.0}) {
+    const BatchRunResult& r = at(Strategy::kSnipAt, target);
+    EXPECT_LT(r.run.mean_zeta_s, target * 0.85) << "target " << target;
+    EXPECT_LT(r.run.mean_zeta_s, 13.0);
+  }
+}
+
+TEST_F(BatchSweepTest, RhMeetsTheSmallTargetAtLowerCost) {
+  const BatchRunResult& rh = at(Strategy::kSnipRh, 16.0);
+  const BatchRunResult& at_run = at(Strategy::kSnipAt, 16.0);
+  EXPECT_GT(rh.run.mean_zeta_s, 14.0);          // tracks the 16 s target
+  EXPECT_LT(rh.run.rho(), at_run.run.rho() / 2.0);  // ~3 vs ~9.8
+}
+
+TEST_F(BatchSweepTest, RhSaturatesNearTheBudgetCap) {
+  // Fig. 7: under Φmax = 86.4 s, RH's capacity caps around 28.8 s no
+  // matter how large the target.
+  const BatchRunResult& rh56 = at(Strategy::kSnipRh, 56.0);
+  EXPECT_GT(rh56.run.mean_zeta_s, 20.0);
+  EXPECT_LT(rh56.run.mean_zeta_s, 36.0);
+  EXPECT_LE(rh56.run.mean_phi_s, 86.4 * 1.01);  // budget respected
+}
+
+TEST_F(BatchSweepTest, BudgetIsRespectedByEveryRun) {
+  for (const BatchRunResult& r : *results_) {
+    EXPECT_LE(r.run.mean_phi_s, r.phi_max_s * 1.01)
+        << strategy_id(r.strategy) << " target " << r.zeta_target_s;
+    EXPECT_GE(r.run.miss_ratio, 0.0);
+    EXPECT_LE(r.run.miss_ratio, 1.0);
+    EXPECT_GT(r.run.mean_wakeups, 0.0);
+    EXPECT_GE(r.energy_per_contact_j(), 0.0);
+  }
+}
+
+TEST_F(BatchSweepTest, AggregatesPreserveTheSweepLabel) {
+  const auto cells = BatchRunner::aggregate(*results_);
+  ASSERT_EQ(cells.size(), 9u);  // one seed per point: cell == run
+  for (const BatchAggregate& cell : cells) {
+    EXPECT_EQ(cell.label, "fig7-small-budget");
+    EXPECT_EQ(cell.seeds, 1u);
+  }
+}
+
+TEST_F(BatchSweepTest, SweepJsonIsReproducedByAFreshIdenticalSweep) {
+  // End-to-end determinism: rebuilding and re-running the same sweep on a
+  // different worker count reproduces the JSON byte for byte.
+  SweepSpec sweep;
+  sweep.label = "fig7-small-budget";
+  sweep.strategies = {Strategy::kSnipAt, Strategy::kSnipOpt,
+                      Strategy::kSnipRh};
+  sweep.zeta_targets_s = {16.0, 32.0, 56.0};
+  sweep.phi_maxes_s = {sweep.scenario.phi_max_small_s()};
+  sweep.seeds = {1234};
+  sweep.epochs = 7;
+  const auto rerun =
+      BatchRunner{BatchRunner::Config{.threads = 3}}.run(expand_sweep(sweep));
+  EXPECT_EQ(BatchRunner::to_json(*results_), BatchRunner::to_json(rerun));
+}
+
+}  // namespace
+}  // namespace snipr::core

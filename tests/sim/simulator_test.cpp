@@ -29,7 +29,8 @@ TEST(Simulator, RunExecutesInOrderAndAdvancesClock) {
 TEST(Simulator, ScheduleAfterIsRelative) {
   Simulator s;
   s.schedule_at(at_s(5), [&] {
-    s.schedule_after(Duration::seconds(3), [&] { EXPECT_EQ(s.now(), at_s(8)); });
+    s.schedule_after(Duration::seconds(3),
+                     [&] { EXPECT_EQ(s.now(), at_s(8)); });
   });
   s.run();
   EXPECT_EQ(s.now(), at_s(8));

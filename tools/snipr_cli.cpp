@@ -1,30 +1,34 @@
-/// snipr-cli — run a contact-probing experiment from the command line.
+/// snipr-cli — run contact-probing experiments from the command line.
 ///
-/// Usage:
+/// Single-run mode (default):
 ///   snipr_cli [--mechanism at|opt|rh|adaptive] [--target S] [--budget S]
 ///             [--epochs N] [--seed N] [--deterministic] [--warmup N]
 ///             [--ton S] [--tcontact S] [--csv] [--help]
 ///
+/// Batch mode fans a mechanism × target × budget × seed grid out across
+/// the BatchRunner worker pool and emits the aggregate JSON:
+///   snipr_cli --batch [--mechanisms at,opt,rh] [--targets 16,24,32]
+///             [--budgets 86.4,864] [--seeds N] [--threads N] [--json FILE]
+///             [--epochs N] [--warmup N] [--deterministic]
+///
 /// Defaults reproduce the paper's road-side scenario: target 16 s, budget
 /// Tepoch/1000 = 86.4 s, 14 epochs, jittered environment, SNIP-RH.
 /// `--csv` prints a single machine-readable line (plus header) instead of
-/// the human-readable summary, so sweeps can be scripted:
+/// the human-readable summary, so sweeps can be scripted; prefer `--batch`
+/// for anything larger than a few points:
 ///
-///   for t in 16 24 32 40 48 56; do
-///     ./snipr_cli --mechanism rh --target $t --csv | tail -1
-///   done
+///   ./snipr_cli --batch --mechanisms at,rh --targets 16,24,32 --seeds 5
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "snipr/core/adaptive_snip_rh.hpp"
+#include "snipr/core/batch_runner.hpp"
 #include "snipr/core/experiment.hpp"
-#include "snipr/core/snip_at.hpp"
-#include "snipr/core/snip_opt.hpp"
-#include "snipr/core/snip_rh.hpp"
+#include "snipr/core/strategy.hpp"
 
 namespace {
 
@@ -42,22 +46,79 @@ struct Options {
   double tcontact_s{2.0};
   bool csv{false};
   bool help{false};
+  // Batch mode.
+  bool batch{false};
+  std::string mechanisms{"at,opt,rh"};
+  std::string targets{"16,24,32,40,48,56"};
+  std::string budgets{"86.4"};
+  std::size_t seeds{1};
+  std::size_t threads{0};  // 0 = hardware concurrency
+  std::string json_path;   // empty = stdout
 };
 
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
+      "single-run mode:\n"
       "  --mechanism at|opt|rh|adaptive  scheduling policy (default rh)\n"
       "  --target S                     zeta target per epoch, seconds\n"
       "  --budget S                     probing budget per epoch, seconds\n"
+      "  --csv                          machine-readable output\n"
+      "batch mode:\n"
+      "  --batch                        run a sweep, emit aggregate JSON\n"
+      "  --mechanisms a,b,...           grid mechanisms (default at,opt,rh)\n"
+      "  --targets s1,s2,...            grid zeta targets, seconds\n"
+      "  --budgets s1,s2,...            grid budgets, seconds\n"
+      "  --seeds N                      seeds 1..N per grid point\n"
+      "  --threads N                    worker threads (default: all cores)\n"
+      "  --json FILE                    write JSON to FILE (default stdout)\n"
+      "common:\n"
       "  --epochs N                     epochs to simulate (default 14)\n"
       "  --warmup N                     epochs excluded from averages\n"
-      "  --seed N                       RNG seed (default 1)\n"
+      "  --seed N                       single-run RNG seed (default 1)\n"
       "  --deterministic                no interval jitter (analysis env)\n"
-      "  --ton S                        SNIP per-wakeup on-time (default 0.02)\n"
-      "  --tcontact S                   mean contact length (default 2)\n"
-      "  --csv                          machine-readable output\n",
+      "  --ton S                        SNIP wakeup on-time (default 0.02)\n"
+      "  --tcontact S                   mean contact length (default 2)\n",
       argv0);
+}
+
+/// Parse a comma-separated list of strictly numeric values; false (and a
+/// diagnostic) on any token atof would silently fold to 0.
+bool parse_double_list(const char* flag, const std::string& list,
+                       std::vector<double>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) {
+      const std::string token = list.substr(start, end - start);
+      char* token_end = nullptr;
+      const double value = std::strtod(token.c_str(), &token_end);
+      if (token_end == token.c_str() || *token_end != '\0') {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", flag,
+                     token.c_str());
+        return false;
+      }
+      out.push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -70,51 +131,85 @@ bool parse(int argc, char** argv, Options& opt) {
       }
       return argv[++i];
     };
+    auto take_string = [&](std::string& out) {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      out = v;
+      return true;
+    };
+    auto take_double = [&](double& out) {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      out = std::strtod(v, &end);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "%s: invalid number '%s'\n", arg.c_str(), v);
+        return false;
+      }
+      return true;
+    };
+    auto take_size = [&](std::size_t& out) {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "%s: invalid count '%s'\n", arg.c_str(), v);
+        return false;
+      }
+      out = static_cast<std::size_t>(parsed);
+      return true;
+    };
     if (arg == "--help" || arg == "-h") {
       opt.help = true;
       return true;
     }
     if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--batch") {
+      opt.batch = true;
     } else if (arg == "--deterministic") {
       opt.deterministic = true;
     } else if (arg == "--mechanism") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.mechanism = v;
-      if (opt.mechanism != "at" && opt.mechanism != "opt" &&
-          opt.mechanism != "rh" && opt.mechanism != "adaptive") {
-        std::fprintf(stderr, "unknown mechanism '%s'\n", v);
+      if (!take_string(opt.mechanism)) return false;
+      if (!core::parse_strategy(opt.mechanism)) {
+        std::fprintf(stderr, "unknown mechanism '%s'\n",
+                     opt.mechanism.c_str());
         return false;
       }
+    } else if (arg == "--mechanisms") {
+      if (!take_string(opt.mechanisms)) return false;
+    } else if (arg == "--targets") {
+      if (!take_string(opt.targets)) return false;
+    } else if (arg == "--budgets") {
+      if (!take_string(opt.budgets)) return false;
+    } else if (arg == "--json") {
+      if (!take_string(opt.json_path)) return false;
     } else if (arg == "--target") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.target_s = std::atof(v);
+      if (!take_double(opt.target_s)) return false;
     } else if (arg == "--budget") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.budget_s = std::atof(v);
+      if (!take_double(opt.budget_s)) return false;
+    } else if (arg == "--ton") {
+      if (!take_double(opt.ton_s)) return false;
+    } else if (arg == "--tcontact") {
+      if (!take_double(opt.tcontact_s)) return false;
     } else if (arg == "--epochs") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.epochs = static_cast<std::size_t>(std::atoll(v));
+      if (!take_size(opt.epochs)) return false;
     } else if (arg == "--warmup") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.warmup = static_cast<std::size_t>(std::atoll(v));
+      if (!take_size(opt.warmup)) return false;
+    } else if (arg == "--seeds") {
+      if (!take_size(opt.seeds)) return false;
+    } else if (arg == "--threads") {
+      if (!take_size(opt.threads)) return false;
     } else if (arg == "--seed") {
       const char* v = next_value();
       if (v == nullptr) return false;
-      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--ton") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.ton_s = std::atof(v);
-    } else if (arg == "--tcontact") {
-      const char* v = next_value();
-      if (v == nullptr) return false;
-      opt.tcontact_s = std::atof(v);
+      char* end = nullptr;
+      opt.seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--seed: invalid count '%s'\n", v);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       print_usage(argv[0]);
@@ -122,6 +217,53 @@ bool parse(int argc, char** argv, Options& opt) {
     }
   }
   return true;
+}
+
+int run_batch(const Options& opt, const core::RoadsideScenario& scenario) {
+  core::SweepSpec sweep;
+  sweep.scenario = scenario;
+  sweep.strategies.clear();
+  for (const std::string& id : split_csv(opt.mechanisms)) {
+    const auto strategy = core::parse_strategy(id);
+    if (!strategy) {
+      std::fprintf(stderr, "unknown mechanism '%s'\n", id.c_str());
+      return 2;
+    }
+    sweep.strategies.push_back(*strategy);
+  }
+  if (!parse_double_list("--targets", opt.targets, sweep.zeta_targets_s) ||
+      !parse_double_list("--budgets", opt.budgets, sweep.phi_maxes_s)) {
+    return 2;
+  }
+  sweep.seeds.clear();
+  for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
+    sweep.seeds.push_back(seed);
+  }
+  sweep.epochs = opt.epochs;
+  sweep.warmup_epochs = opt.warmup;
+  sweep.jitter = opt.deterministic ? contact::IntervalJitter::kNone
+                                   : contact::IntervalJitter::kNormalTenth;
+  if (sweep.strategies.empty() || sweep.zeta_targets_s.empty() ||
+      sweep.phi_maxes_s.empty() || sweep.seeds.empty()) {
+    std::fprintf(stderr, "empty batch grid\n");
+    return 2;
+  }
+
+  const core::BatchRunner runner{
+      core::BatchRunner::Config{.threads = opt.threads}};
+  const auto results = runner.run(core::expand_sweep(sweep));
+  const std::string json = core::BatchRunner::to_json(results);
+
+  if (opt.json_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    if (!core::BatchRunner::write_json_file(json, opt.json_path.c_str())) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu runs to %s\n", results.size(),
+                 opt.json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -138,6 +280,8 @@ int main(int argc, char** argv) {
   scenario.snip.ton_s = opt.ton_s;
   scenario.tcontact_s = opt.tcontact_s;
 
+  if (opt.batch) return run_batch(opt, scenario);
+
   core::ExperimentConfig cfg;
   cfg.epochs = opt.epochs;
   cfg.phi_max_s = opt.budget_s;
@@ -147,30 +291,9 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
   cfg.warmup_epochs = opt.warmup;
 
-  const model::EpochModel model = scenario.make_model();
-  std::unique_ptr<node::Scheduler> scheduler;
-  if (opt.mechanism == "at") {
-    const auto plan = model.snip_at(opt.target_s, opt.budget_s);
-    scheduler = std::make_unique<core::SnipAt>(
-        plan.duties[0], sim::Duration::seconds(scenario.snip.ton_s));
-  } else if (opt.mechanism == "opt") {
-    const auto plan = model.snip_opt(opt.target_s, opt.budget_s);
-    scheduler = std::make_unique<core::SnipOpt>(
-        plan.duties, scenario.profile.epoch(),
-        sim::Duration::seconds(scenario.snip.ton_s));
-  } else if (opt.mechanism == "adaptive") {
-    core::AdaptiveSnipRhConfig acfg;
-    acfg.rh.ton = sim::Duration::seconds(scenario.snip.ton_s);
-    acfg.rh.initial_tcontact_s = scenario.tcontact_s;
-    scheduler = std::make_unique<core::AdaptiveSnipRh>(
-        scenario.profile.epoch(), scenario.profile.slot_count(), acfg);
-  } else {
-    core::SnipRhConfig rh_cfg;
-    rh_cfg.ton = sim::Duration::seconds(scenario.snip.ton_s);
-    rh_cfg.initial_tcontact_s = scenario.tcontact_s;
-    scheduler =
-        std::make_unique<core::SnipRh>(scenario.rush_mask, rh_cfg);
-  }
+  const core::Strategy strategy = *core::parse_strategy(opt.mechanism);
+  const std::unique_ptr<node::Scheduler> scheduler =
+      core::make_scheduler(scenario, strategy, opt.target_s, opt.budget_s);
 
   const core::RunResult r = core::run_experiment(scenario, *scheduler, cfg);
 
