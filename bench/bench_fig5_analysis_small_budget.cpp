@@ -14,9 +14,11 @@
 int main() {
   using namespace snipr;
 
-  const core::RoadsideScenario sc;
+  const core::CatalogEntry& entry =
+      core::ScenarioCatalog::instance().at("roadside");
+  const core::RoadsideScenario& sc = entry.scenario;
   const model::EpochModel m = sc.make_model();
-  const double phi_max = sc.phi_max_small_s();
+  const double phi_max = entry.phi_max_s;
 
   bench::print_figure(
       "Fig. 5: analysis, small budget (Tepoch/1000)", phi_max,

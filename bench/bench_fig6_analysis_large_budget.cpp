@@ -12,9 +12,11 @@
 int main() {
   using namespace snipr;
 
-  const core::RoadsideScenario sc;
+  const core::CatalogEntry& entry =
+      core::ScenarioCatalog::instance().at("roadside-large-budget");
+  const core::RoadsideScenario& sc = entry.scenario;
   const model::EpochModel m = sc.make_model();
-  const double phi_max = sc.phi_max_large_s();
+  const double phi_max = entry.phi_max_s;
 
   bench::print_figure(
       "Fig. 6: analysis, large budget (Tepoch/100)", phi_max,

@@ -16,9 +16,9 @@
 int main(int argc, char** argv) {
   using namespace snipr;
 
-  const core::RoadsideScenario sc;
   const bool ok = bench::print_simulated_figure(
-      "Fig. 7: simulation (14 epochs), small budget (Tepoch/1000)", sc,
-      sc.phi_max_small_s(), 1234, argc > 1 ? argv[1] : nullptr);
+      "Fig. 7: simulation (14 epochs), small budget (Tepoch/1000)",
+      core::ScenarioCatalog::instance().at("roadside"), 1234,
+      argc > 1 ? argv[1] : nullptr);
   return ok ? 0 : 1;
 }

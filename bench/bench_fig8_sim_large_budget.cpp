@@ -13,9 +13,9 @@
 int main(int argc, char** argv) {
   using namespace snipr;
 
-  const core::RoadsideScenario sc;
   const bool ok = bench::print_simulated_figure(
-      "Fig. 8: simulation (14 epochs), large budget (Tepoch/100)", sc,
-      sc.phi_max_large_s(), 5678, argc > 1 ? argv[1] : nullptr);
+      "Fig. 8: simulation (14 epochs), large budget (Tepoch/100)",
+      core::ScenarioCatalog::instance().at("roadside-large-budget"), 5678,
+      argc > 1 ? argv[1] : nullptr);
   return ok ? 0 : 1;
 }

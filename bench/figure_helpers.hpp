@@ -8,13 +8,16 @@
 ///
 /// Analysis figures (5/6) evaluate the fluid model directly; simulation
 /// figures (7/8) fan their mechanism × ζtarget grid out through the
-/// shared `core::BatchRunner` instead of looping serially.
+/// shared `core::BatchRunner` instead of looping serially. Environments
+/// are resolved by name from the `core::ScenarioCatalog` — the same
+/// entries the golden corpus pins — instead of being hand-rolled here.
 
 #include <cstdio>
 #include <vector>
 
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/experiment.hpp"
+#include "snipr/core/scenario_catalog.hpp"
 #include "snipr/core/strategy.hpp"
 
 namespace snipr::bench {
@@ -106,6 +109,15 @@ void print_figure(const char* title, double phi_max, PointFn&& point) {
     std::printf("# aggregate JSON written to %s\n", json_path);
   }
   return true;
+}
+
+/// Catalog-entry variant: the entry carries both the environment and its
+/// published budget.
+[[nodiscard]] inline bool print_simulated_figure(
+    const char* title, const core::CatalogEntry& entry, std::uint64_t seed,
+    const char* json_path = nullptr) {
+  return print_simulated_figure(title, entry.scenario, entry.phi_max_s, seed,
+                                json_path);
 }
 
 }  // namespace snipr::bench

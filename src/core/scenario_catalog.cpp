@@ -1,0 +1,301 @@
+#include "snipr/core/scenario_catalog.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "snipr/trace/one_format.hpp"
+#include "snipr/trace/slot_stats.hpp"
+
+namespace snipr::core {
+namespace {
+
+constexpr std::size_t kHours = 24;
+
+/// Per-slot mean intervals for a 24-slot diurnal profile, all `base_s`;
+/// callers override the peak hours (ArrivalProfile::kNoContacts = dead).
+std::vector<double> flat_intervals(double base_s) {
+  return std::vector<double>(kHours, base_s);
+}
+
+contact::ArrivalProfile profile24(std::vector<double> intervals) {
+  return contact::ArrivalProfile{sim::Duration::hours(24),
+                                 std::move(intervals)};
+}
+
+/// Synthetic ONE-simulator connectivity report: three days of a commuter
+/// flow that is one-sided (morning-only rush, hours 6-8), written in the
+/// exact `<time> CONN <h1> <h2> up|down` format. Deterministic by
+/// construction, so the profile estimated from it is too.
+std::string synthetic_one_report() {
+  std::string report = "# ConnectivityONEReport synthetic commuter trace\n";
+  int peer = 0;
+  for (int day = 0; day < 3; ++day) {
+    for (int hour = 0; hour < static_cast<int>(kHours); ++hour) {
+      const bool rush = hour >= 6 && hour <= 8;
+      const int interval_s = rush ? 400 : 1800;
+      const int hour_start = day * 86400 + hour * 3600;
+      for (int t = hour_start; t + 2 < hour_start + 3600; t += interval_s) {
+        std::string peer_name{"m"};
+        peer_name += std::to_string(peer % 7);
+        report += std::to_string(t);
+        report += " CONN s0 ";
+        report += peer_name;
+        report += " up\n";
+        report += std::to_string(t + 2);
+        report += " CONN s0 ";
+        report += peer_name;
+        report += " down\n";
+        ++peer;
+      }
+    }
+  }
+  return report;
+}
+
+/// Environment recovered from the synthetic ONE trace: parse the report
+/// with the production importer, aggregate per-slot statistics, estimate
+/// the arrival profile, and mark the top-3 busiest slots as rush hours —
+/// the full trace -> slot stats -> rush-hour mask pipeline.
+RoadsideScenario one_trace_scenario() {
+  std::istringstream report{synthetic_one_report()};
+  const std::vector<contact::Contact> contacts =
+      trace::read_one_connectivity(report, "s0");
+  const contact::ArrivalProfile layout =
+      contact::ArrivalProfile::uniform(sim::Duration::hours(24), kHours,
+                                       3600.0);
+  const trace::TraceSlotStats stats{contacts, layout};
+  RoadsideScenario sc;
+  sc.profile = stats.estimate_profile();
+  sc.rush_mask = RushHourMask::top_k(sim::Duration::hours(24), kHours,
+                                     stats.slots_by_count(), 3);
+  sc.tcontact_s = 2.0;
+  return sc;
+}
+
+CatalogEntry make_entry(std::string name, std::string description,
+                        RoadsideScenario scenario,
+                        std::vector<double> zeta_targets) {
+  CatalogEntry entry;
+  entry.name = std::move(name);
+  entry.description = std::move(description);
+  entry.phi_max_s = scenario.phi_max_small_s();
+  entry.scenario = std::move(scenario);
+  entry.zeta_targets_s = std::move(zeta_targets);
+  return entry;
+}
+
+std::vector<CatalogEntry> build_entries() {
+  std::vector<CatalogEntry> entries;
+
+  // 1. The paper's environment under its small budget (Figs. 5 and 7).
+  entries.push_back(make_entry(
+      "roadside",
+      "paper Sec. VII-A road-side network, small budget Tepoch/1000",
+      RoadsideScenario{}, {16.0, 56.0}));
+
+  // 2. Same environment under the large budget (Figs. 6 and 8).
+  {
+    CatalogEntry entry = make_entry(
+        "roadside-large-budget",
+        "paper road-side network under the large budget Tepoch/100",
+        RoadsideScenario{}, {16.0, 56.0});
+    entry.phi_max_s = entry.scenario.phi_max_large_s();
+    entries.push_back(std::move(entry));
+  }
+
+  // 3. Commuter flow with asymmetric peaks: a sharp morning spike and a
+  // broader, weaker evening return.
+  {
+    std::vector<double> intervals = flat_intervals(2400.0);
+    for (const std::size_t h : {7U, 8U}) intervals[h] = 240.0;
+    for (const std::size_t h : {16U, 17U, 18U}) intervals[h] = 600.0;
+    RoadsideScenario sc;
+    sc.profile = profile24(std::move(intervals));
+    sc.rush_mask = RushHourMask::from_hours({7, 8, 16, 17, 18});
+    entries.push_back(make_entry(
+        "commuter-asym",
+        "diurnal commuter: sharp 7-9 morning peak, broad weak 16-19 return",
+        std::move(sc), {16.0, 40.0}));
+  }
+
+  // 4. Night-shift plant: activity peaks straddle midnight, exercising
+  // epoch wrap-around in masks and learners.
+  {
+    std::vector<double> intervals = flat_intervals(2700.0);
+    for (const std::size_t h : {5U, 6U, 22U, 23U}) intervals[h] = 300.0;
+    RoadsideScenario sc;
+    sc.profile = profile24(std::move(intervals));
+    sc.rush_mask = RushHourMask::from_hours({22, 23, 5, 6});
+    entries.push_back(make_entry(
+        "night-shift",
+        "peaks at 22-24 and 5-7: rush hours straddling the epoch boundary",
+        std::move(sc), {16.0, 40.0}));
+  }
+
+  // 5. Bursty convoy: two white-hot slots, everything else dead or nearly
+  // so — the extreme the rush-hour bet is built for.
+  {
+    std::vector<double> intervals =
+        flat_intervals(contact::ArrivalProfile::kNoContacts);
+    intervals[11] = 3600.0;
+    intervals[12] = 120.0;
+    intervals[13] = 120.0;
+    intervals[14] = 3600.0;
+    RoadsideScenario sc;
+    sc.profile = profile24(std::move(intervals));
+    sc.rush_mask = RushHourMask::from_hours({12, 13});
+    sc.tcontact_s = 1.0;
+    entries.push_back(make_entry(
+        "bursty-convoy",
+        "convoy passes 12-14, 1 s contacts, dead or near-dead slots elsewhere",
+        std::move(sc), {8.0, 24.0}));
+  }
+
+  // 6. Sparse rural road: rare contacts all day with a mild midday bump,
+  // but each contact lingers (slow vehicles).
+  {
+    std::vector<double> intervals = flat_intervals(5400.0);
+    for (const std::size_t h : {10U, 11U, 12U, 13U}) intervals[h] = 2700.0;
+    RoadsideScenario sc;
+    sc.profile = profile24(std::move(intervals));
+    sc.rush_mask = RushHourMask::from_hours({10, 11, 12, 13});
+    sc.tcontact_s = 6.0;
+    entries.push_back(make_entry(
+        "sparse-rural",
+        "rare contacts with a mild 10-14 bump; long 6 s contacts",
+        std::move(sc), {8.0, 24.0}));
+  }
+
+  // 7. Multi-peak urban arterial on a 48-slot grid: five separate peaks,
+  // exercising non-24 slot counts end to end.
+  {
+    constexpr std::array<std::size_t, 10> kPeaks{14, 15, 18, 19, 24,
+                                                 25, 34, 35, 38, 39};
+    std::vector<double> intervals(48, 1500.0);
+    std::vector<bool> bits(48, false);
+    for (const std::size_t slot : kPeaks) {
+      intervals[slot] = 360.0;
+      bits[slot] = true;
+    }
+    RoadsideScenario sc;
+    sc.profile = contact::ArrivalProfile{sim::Duration::hours(24),
+                                         std::move(intervals)};
+    sc.rush_mask = RushHourMask{sim::Duration::hours(24), std::move(bits)};
+    entries.push_back(make_entry(
+        "multi-peak-urban", "five half-hour-resolved peaks on a 48-slot grid",
+        std::move(sc), {16.0, 40.0}));
+  }
+
+  // 8. Flat adversarial: a uniform contact process under the paper's
+  // default mask. There is no rush hour to exploit; SNIP-RH's gain must
+  // collapse, not crash.
+  {
+    RoadsideScenario sc;
+    sc.profile = contact::ArrivalProfile::uniform(sim::Duration::hours(24),
+                                                  kHours, 900.0);
+    sc.rush_mask = RushHourMask::from_hours({7, 8, 17, 18});
+    entries.push_back(make_entry(
+        "flat-adversarial",
+        "no rush hour at all: uniform arrivals under the default mask",
+        std::move(sc), {16.0, 40.0}));
+  }
+
+  // 9. Weekend leisure traffic: late broad peaks, nothing at commute time.
+  {
+    std::vector<double> intervals = flat_intervals(2100.0);
+    for (const std::size_t h : {11U, 12U, 13U}) intervals[h] = 420.0;
+    for (const std::size_t h : {20U, 21U}) intervals[h] = 500.0;
+    RoadsideScenario sc;
+    sc.profile = profile24(std::move(intervals));
+    sc.rush_mask = RushHourMask::from_hours({11, 12, 13, 20, 21});
+    entries.push_back(make_entry(
+        "weekend", "late leisure peaks 11-14 and 20-22, no commute rush",
+        std::move(sc), {16.0, 40.0}));
+  }
+
+  // 10. Highway-speed passes: the roadside arrival pattern but contacts a
+  // tenth as long, so probing precision dominates.
+  {
+    RoadsideScenario sc;
+    sc.tcontact_s = 0.5;
+    entries.push_back(make_entry(
+        "highway-short-contacts",
+        "roadside arrivals with 0.5 s drive-by contacts",
+        std::move(sc), {4.0, 12.0}));
+  }
+
+  // 11. Meter-reading walkers: roadside arrivals but 10 s lingering
+  // contacts, shifting the economics toward transfer time.
+  {
+    RoadsideScenario sc;
+    sc.tcontact_s = 10.0;
+    entries.push_back(make_entry(
+        "meter-long-contacts", "roadside arrivals with 10 s lingering contacts",
+        std::move(sc), {40.0, 120.0}));
+  }
+
+  // 12. Environment estimated from a ONE connectivity report through the
+  // production trace pipeline (read_one_connectivity -> TraceSlotStats).
+  entries.push_back(make_entry(
+      "one-trace-commuter",
+      "profile estimated from a ONE connectivity trace, morning-only rush",
+      one_trace_scenario(), {8.0, 24.0}));
+
+  return entries;
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog() : entries_{build_entries()} {}
+
+const ScenarioCatalog& ScenarioCatalog::instance() {
+  static const ScenarioCatalog catalog;
+  return catalog;
+}
+
+const CatalogEntry* ScenarioCatalog::find(std::string_view name) const {
+  for (const CatalogEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const CatalogEntry& ScenarioCatalog::at(std::string_view name) const {
+  if (const CatalogEntry* entry = find(name)) return *entry;
+  std::string message = "unknown scenario '";
+  message += name;
+  message += "'; valid names:";
+  for (const CatalogEntry& entry : entries_) {
+    message += ' ';
+    message += entry.name;
+  }
+  throw std::out_of_range(message);
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const CatalogEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+SweepSpec catalog_sweep(const CatalogEntry& entry, std::size_t seeds,
+                        std::size_t epochs) {
+  SweepSpec sweep;
+  sweep.label = entry.name;
+  sweep.scenario = entry.scenario;
+  constexpr std::array<Strategy, 4> strategies = all_strategies();
+  sweep.strategies.assign(strategies.begin(), strategies.end());
+  sweep.zeta_targets_s = entry.zeta_targets_s;
+  sweep.phi_maxes_s = {entry.phi_max_s};
+  sweep.seeds.clear();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    sweep.seeds.push_back(seed);
+  }
+  sweep.epochs = epochs;
+  return sweep;
+}
+
+}  // namespace snipr::core

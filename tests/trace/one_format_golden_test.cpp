@@ -1,0 +1,100 @@
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snipr/trace/one_format.hpp"
+
+/// Golden-file tests for the ONE connectivity importer: committed fixture
+/// reports under tests/data/one/ parsed with the production file reader
+/// and compared against committed expected outputs. SNIPR_TEST_DATA_DIR
+/// is injected by tests/CMakeLists.txt.
+
+namespace snipr::trace {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string{SNIPR_TEST_DATA_DIR} + "/one/" + name;
+}
+
+struct ExpectedContact {
+  double arrival_s;
+  double length_s;
+};
+
+/// Parse the golden TSV: `arrival_s<TAB>length_s`, '#' comments.
+std::vector<ExpectedContact> read_expected(const std::string& path) {
+  std::ifstream is{path};
+  EXPECT_TRUE(is.is_open()) << "cannot open golden file " << path;
+  std::vector<ExpectedContact> expected;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields{line};
+    ExpectedContact c{};
+    EXPECT_TRUE(static_cast<bool>(fields >> c.arrival_s >> c.length_s))
+        << "bad golden line: " << line;
+    expected.push_back(c);
+  }
+  return expected;
+}
+
+TEST(OneFormatGolden, CommuterFixtureMatchesGoldenContacts) {
+  // Exercises, against committed files: overlap-merge across peers
+  // (m1/m2), host in either column, skipping unrelated hosts and non-CONN
+  // reports, and up-without-down closure at the last event time.
+  const auto contacts =
+      read_one_connectivity_file(fixture("commuter.txt"), "s0");
+  const auto expected = read_expected(fixture("commuter.expected.tsv"));
+  ASSERT_EQ(contacts.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(contacts[i].arrival.to_seconds(), expected[i].arrival_s)
+        << "contact " << i;
+    EXPECT_DOUBLE_EQ(contacts[i].length.to_seconds(), expected[i].length_s)
+        << "contact " << i;
+  }
+}
+
+/// Every documented malformed-input case, as a committed fixture, throws
+/// std::runtime_error naming the exact offending line.
+struct MalformedCase {
+  const char* file;
+  const char* expected_line;
+  const char* expected_detail;
+};
+
+class OneFormatGoldenMalformed
+    : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(OneFormatGoldenMalformed, ThrowsWithCorrectLineNumber) {
+  const MalformedCase& c = GetParam();
+  try {
+    (void)read_one_connectivity_file(fixture(c.file), "s0");
+    FAIL() << c.file << ": expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find(c.expected_line), std::string::npos)
+        << c.file << ": wrong line in '" << what << "'";
+    EXPECT_NE(what.find(c.expected_detail), std::string::npos)
+        << c.file << ": wrong detail in '" << what << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DocumentedCases, OneFormatGoldenMalformed,
+    ::testing::Values(
+        MalformedCase{"bad_timestamp.txt", "line 3", "bad timestamp"},
+        MalformedCase{"bad_direction.txt", "line 4", "unknown direction"},
+        MalformedCase{"down_without_up.txt", "line 5", "down without up"},
+        MalformedCase{"non_monotonic.txt", "line 4", "non-decreasing"},
+        MalformedCase{"truncated_fields.txt", "line 3",
+                      "expected '<time> CONN"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      std::string name{info.param.file};
+      return name.substr(0, name.find('.'));
+    });
+
+}  // namespace
+}  // namespace snipr::trace

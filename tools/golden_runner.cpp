@@ -1,0 +1,241 @@
+/// golden_runner — machine-checked regression harness over the scenario
+/// catalog.
+///
+/// Replays every `core::ScenarioCatalog` entry across all four
+/// `core::Strategy` values through the `BatchRunner` pool (the canonical
+/// `catalog_sweep` grid: strategies × the entry's ζtargets × its budget ×
+/// seeds 1..2, 10 epochs) and diffs the aggregate JSON against the
+/// committed corpus under tests/golden/. Numbers are compared with a
+/// relative tolerance so a benign last-ulp wobble between compilers does
+/// not fail the build, while any real behaviour change does.
+///
+///   golden_runner --dir tests/golden            # check (CI mode)
+///   golden_runner --dir tests/golden --update   # bless current behaviour
+///
+/// Regenerating with --update is legitimate only when a change is *meant*
+/// to alter simulation results (see DESIGN.md, "Golden corpus workflow");
+/// the regenerated files are part of the change and get reviewed with it.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snipr/core/batch_runner.hpp"
+#include "snipr/core/scenario_catalog.hpp"
+
+namespace {
+
+using namespace snipr;
+
+// The corpus grid, pinned: changing these regenerates every golden file.
+constexpr std::size_t kGoldenSeeds = 2;
+constexpr std::size_t kGoldenEpochs = 10;
+constexpr double kDefaultRelTolerance = 1e-9;
+
+struct Options {
+  std::string dir{"tests/golden"};
+  std::string scenario;  // empty = all entries
+  bool update{false};
+  double rel_tolerance{kDefaultRelTolerance};
+  std::size_t threads{0};
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--update") {
+      opt.update = true;
+    } else if (arg == "--dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.dir = v;
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.scenario = v;
+    } else if (arg == "--tolerance") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      opt.rel_tolerance = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.rel_tolerance < 0.0) {
+        std::fprintf(stderr, "--tolerance: invalid value '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--threads: invalid count '%s'\n", v);
+        return false;
+      }
+      opt.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: golden_runner [--dir DIR] [--update] [--scenario NAME]\n"
+          "                     [--tolerance REL] [--threads N]\n"
+          "Checks (or with --update, regenerates) the golden aggregate\n"
+          "JSON for every scenario-catalog entry x all four strategies.\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Tolerance-aware JSON text comparison. Structure and strings must match
+/// exactly; numeric literals (outside strings) match when within
+/// `rel_tol` relatively or 1e-12 absolutely. Returns a description of the
+/// first mismatch, or nullopt when equivalent.
+std::optional<std::string> diff_json(const std::string& expected,
+                                     const std::string& actual,
+                                     double rel_tol) {
+  constexpr double kAbsTolerance = 1e-12;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  bool in_string = false;
+  auto starts_number = [](const std::string& s, std::size_t k) {
+    if (k >= s.size()) return false;
+    const char c = s[k];
+    return std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-';
+  };
+  while (i < expected.size() || j < actual.size()) {
+    if (!in_string && starts_number(expected, i) && starts_number(actual, j)) {
+      char* end_e = nullptr;
+      char* end_a = nullptr;
+      const double e = std::strtod(expected.c_str() + i, &end_e);
+      const double a = std::strtod(actual.c_str() + j, &end_a);
+      // NaN/inf never satisfy a tolerance: a non-finite value matches only
+      // its exact twin, so a metric going NaN cannot slip through (the
+      // tolerance comparison below is false for NaN on either side).
+      const bool both_nan = std::isnan(e) && std::isnan(a);
+      const bool same_inf = std::isinf(e) && std::isinf(a) && e == a;
+      const double scale = std::max(std::abs(e), std::abs(a));
+      const bool within_tolerance =
+          std::abs(e - a) <= std::max(kAbsTolerance, rel_tol * scale);
+      if (!both_nan && !same_inf && !within_tolerance) {
+        std::ostringstream out;
+        out << "number mismatch at byte " << i << ": expected "
+            << std::setprecision(17) << e << ", got " << a;
+        return out.str();
+      }
+      i = static_cast<std::size_t>(end_e - expected.c_str());
+      j = static_cast<std::size_t>(end_a - actual.c_str());
+      continue;
+    }
+    if (i >= expected.size() || j >= actual.size()) {
+      return "length mismatch: one document ends early at byte " +
+             std::to_string(std::min(i, j));
+    }
+    if (expected[i] != actual[j]) {
+      std::ostringstream out;
+      out << "text mismatch at byte " << i << ": expected '" << expected[i]
+          << "', got '" << actual[j] << "'";
+      return out.str();
+    }
+    if (expected[i] == '"' && (i == 0 || expected[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    ++i;
+    ++j;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+std::string golden_json(const core::CatalogEntry& entry,
+                        const core::BatchRunner& runner) {
+  const core::SweepSpec sweep =
+      core::catalog_sweep(entry, kGoldenSeeds, kGoldenEpochs);
+  return core::BatchRunner::to_json(runner.run(core::expand_sweep(sweep)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+
+  const core::ScenarioCatalog& catalog = core::ScenarioCatalog::instance();
+  std::vector<const core::CatalogEntry*> selected;
+  if (opt.scenario.empty()) {
+    for (const core::CatalogEntry& entry : catalog.entries()) {
+      selected.push_back(&entry);
+    }
+  } else {
+    try {
+      selected.push_back(&catalog.at(opt.scenario));
+    } catch (const std::out_of_range& e) {
+      // at()'s message already lists every valid name.
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  const core::BatchRunner runner{
+      core::BatchRunner::Config{.threads = opt.threads}};
+  std::size_t failures = 0;
+  for (const core::CatalogEntry* entry : selected) {
+    const std::string path = opt.dir + "/" + entry->name + ".json";
+    const std::string actual = golden_json(*entry, runner);
+    if (opt.update) {
+      if (!core::BatchRunner::write_json_file(actual, path.c_str())) {
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+      continue;
+    }
+    const std::optional<std::string> expected = read_file(path);
+    if (!expected) {
+      std::printf("FAIL %-24s missing golden file %s (run --update)\n",
+                  entry->name.c_str(), path.c_str());
+      ++failures;
+      continue;
+    }
+    if (const auto mismatch = diff_json(*expected, actual, opt.rel_tolerance)) {
+      std::printf("FAIL %-24s %s\n", entry->name.c_str(), mismatch->c_str());
+      ++failures;
+    } else {
+      std::printf("ok   %-24s matches %s\n", entry->name.c_str(),
+                  path.c_str());
+    }
+  }
+  if (opt.update) return 0;
+  if (failures > 0) {
+    std::printf("%zu of %zu scenarios diverged from the golden corpus\n",
+                failures, selected.size());
+    std::printf("if the behaviour change is intentional, regenerate with:\n"
+                "  golden_runner --dir %s --update\n", opt.dir.c_str());
+    return 1;
+  }
+  std::printf("all %zu scenarios match the golden corpus\n", selected.size());
+  return 0;
+}

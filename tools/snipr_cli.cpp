@@ -1,23 +1,28 @@
 /// snipr-cli — run contact-probing experiments from the command line.
 ///
 /// Single-run mode (default):
-///   snipr_cli [--mechanism at|opt|rh|adaptive] [--target S] [--budget S]
-///             [--epochs N] [--seed N] [--deterministic] [--warmup N]
-///             [--ton S] [--tcontact S] [--csv] [--help]
+///   snipr_cli [--scenario NAME] [--mechanism at|opt|rh|adaptive]
+///             [--target S] [--budget S] [--epochs N] [--seed N]
+///             [--deterministic] [--warmup N] [--ton S] [--tcontact S]
+///             [--csv] [--help]
 ///
 /// Batch mode fans a mechanism × target × budget × seed grid out across
 /// the BatchRunner worker pool and emits the aggregate JSON:
-///   snipr_cli --batch [--mechanisms at,opt,rh] [--targets 16,24,32]
-///             [--budgets 86.4,864] [--seeds N] [--threads N] [--json FILE]
-///             [--epochs N] [--warmup N] [--deterministic]
+///   snipr_cli --batch [--scenario NAME] [--mechanisms at,opt,rh]
+///             [--targets 16,24,32] [--budgets 86.4,864] [--seeds N]
+///             [--threads N] [--json FILE] [--epochs N] [--warmup N]
+///             [--deterministic]
 ///
-/// Defaults reproduce the paper's road-side scenario: target 16 s, budget
-/// Tepoch/1000 = 86.4 s, 14 epochs, jittered environment, SNIP-RH.
-/// `--csv` prints a single machine-readable line (plus header) instead of
-/// the human-readable summary, so sweeps can be scripted; prefer `--batch`
-/// for anything larger than a few points:
+/// Environments come from the named scenario library
+/// (`core::ScenarioCatalog`); `--list-scenarios` prints it. Without
+/// `--scenario` the defaults reproduce the paper's road-side scenario:
+/// target 16 s, budget Tepoch/1000 = 86.4 s, 14 epochs, jittered
+/// environment, SNIP-RH. `--csv` prints a single machine-readable line
+/// (plus header) instead of the human-readable summary, so sweeps can be
+/// scripted; prefer `--batch` for anything larger than a few points:
 ///
-///   ./snipr_cli --batch --mechanisms at,rh --targets 16,24,32 --seeds 5
+///   ./snipr_cli --batch --scenario night-shift --mechanisms at,rh
+///       --targets 16,24,32 --seeds 5
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,7 @@
 
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/experiment.hpp"
+#include "snipr/core/scenario_catalog.hpp"
 #include "snipr/core/strategy.hpp"
 
 namespace {
@@ -35,9 +41,15 @@ namespace {
 using namespace snipr;
 
 struct Options {
+  std::string scenario;  // empty = paper default (catalog "roadside")
+  bool list_scenarios{false};
   std::string mechanism{"rh"};
   double target_s{16.0};
+  bool target_set{false};
   double budget_s{86.4};
+  bool budget_set{false};
+  bool ton_set{false};
+  bool tcontact_set{false};
   std::size_t epochs{14};
   std::uint64_t seed{1};
   bool deterministic{false};
@@ -50,7 +62,9 @@ struct Options {
   bool batch{false};
   std::string mechanisms{"at,opt,rh"};
   std::string targets{"16,24,32,40,48,56"};
+  bool targets_set{false};
   std::string budgets{"86.4"};
+  bool budgets_set{false};
   std::size_t seeds{1};
   std::size_t threads{0};  // 0 = hardware concurrency
   std::string json_path;   // empty = stdout
@@ -60,6 +74,8 @@ void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "single-run mode:\n"
+      "  --scenario NAME                named environment from the catalog\n"
+      "  --list-scenarios               print the scenario catalog and exit\n"
       "  --mechanism at|opt|rh|adaptive  scheduling policy (default rh)\n"
       "  --target S                     zeta target per epoch, seconds\n"
       "  --budget S                     probing budget per epoch, seconds\n"
@@ -168,6 +184,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.csv = true;
     } else if (arg == "--batch") {
       opt.batch = true;
+    } else if (arg == "--list-scenarios") {
+      opt.list_scenarios = true;
+    } else if (arg == "--scenario") {
+      if (!take_string(opt.scenario)) return false;
     } else if (arg == "--deterministic") {
       opt.deterministic = true;
     } else if (arg == "--mechanism") {
@@ -181,18 +201,24 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!take_string(opt.mechanisms)) return false;
     } else if (arg == "--targets") {
       if (!take_string(opt.targets)) return false;
+      opt.targets_set = true;
     } else if (arg == "--budgets") {
       if (!take_string(opt.budgets)) return false;
+      opt.budgets_set = true;
     } else if (arg == "--json") {
       if (!take_string(opt.json_path)) return false;
     } else if (arg == "--target") {
       if (!take_double(opt.target_s)) return false;
+      opt.target_set = true;
     } else if (arg == "--budget") {
       if (!take_double(opt.budget_s)) return false;
+      opt.budget_set = true;
     } else if (arg == "--ton") {
       if (!take_double(opt.ton_s)) return false;
+      opt.ton_set = true;
     } else if (arg == "--tcontact") {
       if (!take_double(opt.tcontact_s)) return false;
+      opt.tcontact_set = true;
     } else if (arg == "--epochs") {
       if (!take_size(opt.epochs)) return false;
     } else if (arg == "--warmup") {
@@ -206,7 +232,8 @@ bool parse(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       char* end = nullptr;
       opt.seed = std::strtoull(v, &end, 10);
-      if (end == v || *end != '\0') {
+      // strtoull silently wraps negatives to huge seeds; reject them.
+      if (end == v || *end != '\0' || v[0] == '-') {
         std::fprintf(stderr, "--seed: invalid count '%s'\n", v);
         return false;
       }
@@ -219,8 +246,19 @@ bool parse(int argc, char** argv, Options& opt) {
   return true;
 }
 
-int run_batch(const Options& opt, const core::RoadsideScenario& scenario) {
+void print_scenarios(std::FILE* out) {
+  std::fprintf(out, "scenarios (--scenario NAME):\n");
+  for (const core::CatalogEntry& entry :
+       core::ScenarioCatalog::instance().entries()) {
+    std::fprintf(out, "  %-22s %s\n", entry.name.c_str(),
+                 entry.description.c_str());
+  }
+}
+
+int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
+              const std::string& label, const core::CatalogEntry* entry) {
   core::SweepSpec sweep;
+  sweep.label = label;
   sweep.scenario = scenario;
   sweep.strategies.clear();
   for (const std::string& id : split_csv(opt.mechanisms)) {
@@ -234,6 +272,23 @@ int run_batch(const Options& opt, const core::RoadsideScenario& scenario) {
   if (!parse_double_list("--targets", opt.targets, sweep.zeta_targets_s) ||
       !parse_double_list("--budgets", opt.budgets, sweep.phi_maxes_s)) {
     return 2;
+  }
+  // Grid precedence: the plural flags win, then the singular single-run
+  // flags (a one-point grid), then the named scenario's own budget and
+  // representative targets (the golden-corpus grid).
+  if (!opt.budgets_set) {
+    if (opt.budget_set) {
+      sweep.phi_maxes_s = {opt.budget_s};
+    } else if (entry != nullptr) {
+      sweep.phi_maxes_s = {entry->phi_max_s};
+    }
+  }
+  if (!opt.targets_set) {
+    if (opt.target_set) {
+      sweep.zeta_targets_s = {opt.target_s};
+    } else if (entry != nullptr) {
+      sweep.zeta_targets_s = entry->zeta_targets_s;
+    }
   }
   sweep.seeds.clear();
   for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
@@ -275,16 +330,48 @@ int main(int argc, char** argv) {
     print_usage(argv[0]);
     return 0;
   }
+  if (opt.list_scenarios) {
+    print_scenarios(stdout);
+    return 0;
+  }
 
   core::RoadsideScenario scenario;
-  scenario.snip.ton_s = opt.ton_s;
-  scenario.tcontact_s = opt.tcontact_s;
+  std::string label{"roadside"};
+  double default_budget_s = 86.4;
+  const core::CatalogEntry* entry = nullptr;
+  if (!opt.scenario.empty()) {
+    entry = core::ScenarioCatalog::instance().find(opt.scenario);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", opt.scenario.c_str());
+      print_scenarios(stderr);
+      return 2;
+    }
+    scenario = entry->scenario;
+    label = entry->name;
+    default_budget_s = entry->phi_max_s;
+  }
+  // Overrides make the environment no longer the catalog entry: mark the
+  // label so JSON grouped by it is never conflated with the pinned
+  // catalog (and golden-corpus) environment of the same name.
+  if (opt.ton_set) {
+    scenario.snip.ton_s = opt.ton_s;
+    char marker[32];
+    std::snprintf(marker, sizeof marker, "+ton=%g", opt.ton_s);
+    label += marker;
+  }
+  if (opt.tcontact_set) {
+    scenario.tcontact_s = opt.tcontact_s;
+    char marker[32];
+    std::snprintf(marker, sizeof marker, "+tcontact=%g", opt.tcontact_s);
+    label += marker;
+  }
 
-  if (opt.batch) return run_batch(opt, scenario);
+  if (opt.batch) return run_batch(opt, scenario, label, entry);
 
+  const double budget_s = opt.budget_set ? opt.budget_s : default_budget_s;
   core::ExperimentConfig cfg;
   cfg.epochs = opt.epochs;
-  cfg.phi_max_s = opt.budget_s;
+  cfg.phi_max_s = budget_s;
   cfg.sensing_rate_bps = scenario.sensing_rate_for_target(opt.target_s);
   cfg.jitter = opt.deterministic ? contact::IntervalJitter::kNone
                                  : contact::IntervalJitter::kNormalTenth;
@@ -293,7 +380,7 @@ int main(int argc, char** argv) {
 
   const core::Strategy strategy = *core::parse_strategy(opt.mechanism);
   const std::unique_ptr<node::Scheduler> scheduler =
-      core::make_scheduler(scenario, strategy, opt.target_s, opt.budget_s);
+      core::make_scheduler(scenario, strategy, opt.target_s, budget_s);
 
   const core::RunResult r = core::run_experiment(scenario, *scheduler, cfg);
 
@@ -302,14 +389,14 @@ int main(int argc, char** argv) {
         "mechanism,target_s,budget_s,epochs,seed,zeta_s,phi_s,rho,"
         "miss_ratio,latency_s,probing_j\n");
     std::printf("%s,%.3f,%.3f,%zu,%llu,%.4f,%.4f,%.4f,%.4f,%.1f,%.4f\n",
-                opt.mechanism.c_str(), opt.target_s, opt.budget_s, r.epochs,
+                opt.mechanism.c_str(), opt.target_s, budget_s, r.epochs,
                 static_cast<unsigned long long>(opt.seed), r.mean_zeta_s,
                 r.mean_phi_s, r.rho(), r.miss_ratio,
                 r.mean_delivery_latency_s, r.probing_energy_j);
   } else {
     std::printf("%s over %zu epochs (target %.1f s, budget %.1f s):\n",
                 r.scheduler_name.c_str(), r.epochs, opt.target_s,
-                opt.budget_s);
+                budget_s);
     std::printf("  probed capacity   ζ = %8.2f s/epoch %s\n", r.mean_zeta_s,
                 r.mean_zeta_s + 0.5 >= opt.target_s ? "(target met)"
                                                     : "(below target)");
