@@ -1,66 +1,132 @@
-/// Deployment-scale bench: fleet outcomes and fairness vs node count.
+/// Deployment-scale bench: fleet outcomes, fairness and wall-clock cost
+/// vs node count, through the sharded `deploy::FleetEngine`.
 ///
 /// Extends the single-node evaluation to the paper's Fig. 1 network
-/// setting: N nodes share one vehicle flow (correlated contacts). Reports
-/// per-fleet totals, Jain fairness over per-node ζ, and wall-clock cost
-/// per simulated node-day, demonstrating the simulator scales to
-/// deployment-sized studies.
+/// setting: N road-side nodes share one vehicle flow (correlated
+/// contacts). The sweep quadruples the fleet from 1 node up (clamping
+/// the last step so it lands exactly on --max-nodes, 1024 by default)
+/// over the full 14-epoch (two-week) horizon, reporting per-fleet
+/// totals, Jain
+/// fairness over per-node ζ, and wall-clock cost per simulated node-day —
+/// the trajectory that shows the engine reaching deployment scale. With
+/// --json FILE the rows are written as a machine-readable artifact
+/// (schema "snipr.bench.deployment_scale.v1") that CI uploads, so the
+/// bench trajectory accumulates across commits.
+///
+///   bench_deployment_scale [--json FILE] [--max-nodes N] [--epochs N]
+///                          [--shards N]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "snipr/core/snip_rh.hpp"
-#include "snipr/deploy/deployment.hpp"
-#include "snipr/deploy/road_contacts.hpp"
+#include "snipr/core/batch_runner.hpp"
+#include "snipr/core/json_writer.hpp"
+#include "snipr/core/scenario_catalog.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snipr;
 
-  std::printf("# fleet scale sweep (14 epochs, SNIP-RH at knee duty)\n");
-  std::printf("# %6s | %12s %12s %10s | %12s\n", "nodes", "fleet_zeta",
-              "fleet_phi", "fairness", "ms/node-day");
-
-  for (const std::size_t n_nodes : {1U, 2U, 4U, 8U, 16U, 32U}) {
-    std::vector<double> positions;
-    positions.reserve(n_nodes);
-    for (std::size_t i = 0; i < n_nodes; ++i) {
-      positions.push_back(50.0 + 300.0 * static_cast<double>(i));
+  std::string json_path;
+  std::size_t max_nodes = 1024;
+  std::size_t epochs = 14;
+  std::size_t shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = value();
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0) {
+      max_nodes = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--epochs") == 0) {
+      epochs = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
     }
-
-    deploy::VehicleFlow flow;
-    flow.speed_mps =
-        std::make_unique<sim::TruncatedNormalDistribution>(10.0, 1.5, 2.0);
-    sim::Rng rng{11};
-    const auto vehicles = deploy::materialize_vehicles(
-        flow, sim::Duration::hours(24) * 14, rng);
-    auto schedules =
-        deploy::build_road_schedules(positions, 10.0, vehicles);
-
-    deploy::DeploymentConfig cfg;
-    cfg.epochs = 14;
-    cfg.node.budget_limit = sim::Duration::seconds(864.0);
-    cfg.node.sensing_rate_bps = 1e6;
-
-    const auto start = std::chrono::steady_clock::now();
-    const auto outcome = deploy::run_deployment(
-        std::move(schedules),
-        [](std::size_t) {
-          return std::make_unique<core::SnipRh>(
-              core::RushHourMask::from_hours({7, 8, 17, 18}),
-              core::SnipRhConfig{});
-        },
-        cfg);
-    const auto elapsed = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-
-    std::printf("  %6zu | %12.1f %12.1f %10.3f | %12.3f\n", n_nodes,
-                outcome.total_zeta_s, outcome.total_phi_s,
-                outcome.zeta_fairness,
-                elapsed / (static_cast<double>(n_nodes) * 14.0));
   }
 
-  std::printf("# expectation: fleet totals scale ~linearly in N, fairness"
-              " stays near 1 (shared flow), per-node-day cost is flat\n");
+  // The highway fleet entry is the reference environment; only the node
+  // count varies along the sweep.
+  const core::CatalogEntry& entry =
+      core::ScenarioCatalog::instance().at("fleet-highway-1k");
+
+  std::printf("# fleet scale sweep (%zu epochs, %s per node, FleetEngine)\n",
+              epochs, core::strategy_id(entry.fleet->strategy).data());
+  std::printf("# %6s | %12s %12s %10s %10s | %10s %12s\n", "nodes",
+              "fleet_zeta", "fleet_phi", "fairness", "stddev_s", "wall_ms",
+              "ms/node-day");
+
+  std::string rows;
+  for (std::size_t n_nodes = 1; n_nodes <= max_nodes;
+       n_nodes = n_nodes == max_nodes ? max_nodes + 1
+                                      : std::min(n_nodes * 4, max_nodes)) {
+    deploy::FleetSpec spec = *entry.fleet;
+    spec.nodes = n_nodes;
+
+    deploy::FleetConfig config;
+    config.deployment = deploy::make_fleet_deployment_config(
+        entry.scenario, spec, entry.phi_max_s, epochs, /*seed=*/11);
+    config.shards = shards;
+
+    const auto start = std::chrono::steady_clock::now();
+    const deploy::DeploymentOutcome outcome =
+        deploy::FleetEngine{}.run(entry.scenario, spec, config);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const double node_days =
+        static_cast<double>(n_nodes) * static_cast<double>(epochs);
+
+    std::printf("  %6zu | %12.1f %12.1f %10.3f %10.3f | %10.1f %12.3f\n",
+                n_nodes, outcome.total_zeta_s, outcome.total_phi_s,
+                outcome.zeta_fairness, outcome.zeta_stddev_s, wall_ms,
+                wall_ms / node_days);
+
+    if (!rows.empty()) rows += ',';
+    rows += '{';
+    core::json::append_uint_field(rows, "nodes", n_nodes);
+    core::json::append_uint_field(rows, "epochs", epochs);
+    core::json::append_field(rows, "wall_ms", wall_ms);
+    core::json::append_field(rows, "ms_per_node_day", wall_ms / node_days);
+    core::json::append_field(rows, "total_zeta_s", outcome.total_zeta_s);
+    core::json::append_field(rows, "total_phi_s", outcome.total_phi_s);
+    core::json::append_field(rows, "zeta_fairness", outcome.zeta_fairness);
+    core::json::append_field(rows, "zeta_stddev_s", outcome.zeta_stddev_s,
+                             /*comma=*/false);
+    rows += '}';
+  }
+
+  std::printf("# expectation: per-node-day cost stays near-flat to 1024+"
+              " nodes (sharded simulators,\n"
+              "# compacted heaps). Totals grow sub-linearly and fairness"
+              " dips at extreme road lengths:\n"
+              "# distant nodes see the shared rush hours arrive hours later"
+              " than the fixed mask expects\n"
+              "# (travel offset x/v) — the misalignment per-node adaptive"
+              " learning exists to fix.\n");
+
+  if (!json_path.empty()) {
+    std::string json{"{\"schema\":\"snipr.bench.deployment_scale.v1\","};
+    json += "\"scenario\":\"fleet-highway-1k\",\"rows\":[";
+    json += rows;
+    json += "]}";
+    if (!core::BatchRunner::write_json_file(json, json_path.c_str())) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote bench trajectory to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+/// \file json_writer.hpp
+/// Minimal deterministic JSON building, shared by every emitter
+/// (`BatchRunner::to_json`, `FleetEngine::to_json`, the bench artifact
+/// writers): fixed field order, "%.10g" doubles, no locale dependence
+/// (snprintf with the C locale's decimal point — metrics never pass
+/// through iostreams). Same inputs, same bytes — the property the golden
+/// corpus and the thread/shard determinism tests pin down.
+
+namespace snipr::core::json {
+
+inline void append_number(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  out += buffer;
+}
+
+inline void append_field(std::string& out, const char* key, double value,
+                         bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  append_number(out, value);
+  if (comma) out += ',';
+}
+
+inline void append_uint_field(std::string& out, const char* key,
+                              std::uint64_t value, bool comma = true) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu",
+                static_cast<unsigned long long>(value));
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buffer;
+  if (comma) out += ',';
+}
+
+inline void append_string_field(std::string& out, const char* key,
+                                std::string_view value, bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof escaped, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += escaped;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  if (comma) out += ',';
+}
+
+}  // namespace snipr::core::json

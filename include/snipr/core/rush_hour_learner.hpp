@@ -27,6 +27,14 @@
 ///    outside). Without this correction an adopted mask self-reinforces
 ///    and a shifted pattern is never relearned. Slots with zero effort in
 ///    an epoch carry no information and keep their score.
+///
+/// Initialisation is tracked per slot: a slot's first real sample *seeds*
+/// its score outright, and only later samples are EWMA-blended. A global
+/// initialised flag would mark effort-mode slots that were skipped in the
+/// first epoch as initialised too, so their eventual first sample in a
+/// later epoch would be blended against a bogus 0.0 prior — persistently
+/// underestimating rarely-probed slots (exactly the ones outside an
+/// adopted mask) and biasing the learned ranking toward the incumbent.
 
 namespace snipr::core {
 
@@ -80,8 +88,10 @@ class RushHourLearner {
   std::vector<double> scores_;
   std::vector<double> current_counts_;
   std::vector<double> current_effort_s_;
+  // Per-slot: has this slot's score been seeded by a real sample yet?
+  // (std::vector<char>, not <bool>, for addressable flags.)
+  std::vector<char> slot_seeded_;
   std::size_t epochs_{0};
-  bool scores_initialised_{false};
 };
 
 }  // namespace snipr::core

@@ -2,12 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/scenario.hpp"
+#include "snipr/deploy/fleet.hpp"
 
 /// \file scenario_catalog.hpp
 /// The named scenario library.
@@ -34,6 +36,13 @@ struct CatalogEntry {
   double phi_max_s{86.4};
   /// Representative ζtarget sweep points (golden corpus grid).
   std::vector<double> zeta_targets_s{16.0, 56.0};
+  /// Set on fleet entries (snipr_cli --fleet, the FleetEngine golden
+  /// corpus): the multi-node deployment this environment describes.
+  /// `scenario` then holds the per-node environment (mask, Ton, link)
+  /// that every fleet node runs. Null on single-node entries.
+  std::shared_ptr<const deploy::FleetSpec> fleet{};
+
+  [[nodiscard]] bool is_fleet() const noexcept { return fleet != nullptr; }
 };
 
 /// Immutable registry of every named scenario, built once per process.

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+/// \file thread_pool.hpp
+/// Reusable fork-join worker pool.
+///
+/// Extracted from `core::BatchRunner` so every parallel engine (the batch
+/// grid, the deployment `FleetEngine`, future sweeps) shares one
+/// work-distribution strategy instead of hand-rolling its own: a shared
+/// atomic index hands item `i` to whichever worker gets there first, so
+/// assignment order can never influence output order — each item owns its
+/// own result slot and its own deterministic state. The first exception
+/// thrown by any item is rethrown on the caller's thread after all
+/// workers join.
+
+namespace snipr::core {
+
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Workers this pool will spawn (never 0).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Invoke `body(i)` for every i in [0, count). Bodies run concurrently
+  /// (at most min(threads(), count) at a time) and must not share mutable
+  /// state except through their own index. Blocks until every body
+  /// returned; rethrows the first exception any body threw.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body) const;
+
+  /// std::thread::hardware_concurrency(), never 0.
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace snipr::core

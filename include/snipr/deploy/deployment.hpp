@@ -9,13 +9,14 @@
 #include "snipr/radio/link.hpp"
 
 /// \file deployment.hpp
-/// Multi-node experiment runner.
+/// Multi-node experiment outcomes and the single-simulator runner.
 ///
-/// One shared simulator drives N sensor nodes, each with its own channel
-/// (over its own contact schedule), data buffer, budget and scheduler
-/// instance, all visited by the same vehicle flow. Reports per-node and
-/// aggregate outcomes — including the min/max fairness spread that a
-/// single-node study cannot see.
+/// N sensor nodes, each with its own channel (over its own contact
+/// schedule), data buffer, budget and scheduler instance, all visited by
+/// the same vehicle flow. Reports per-node and aggregate outcomes —
+/// including the min/max fairness spread that a single-node study cannot
+/// see. `run_deployment` is the historical single-shard entry point; the
+/// sharded engine behind it lives in fleet_engine.hpp.
 
 namespace snipr::deploy {
 
@@ -42,8 +43,13 @@ struct DeploymentOutcome {
   double total_zeta_s{0.0};
   double total_phi_s{0.0};
   double total_bytes{0.0};
-  double min_zeta_s{0.0};   ///< worst-served node
-  double max_zeta_s{0.0};   ///< best-served node
+  double min_zeta_s{0.0};    ///< worst-served node
+  double max_zeta_s{0.0};    ///< best-served node
+  double mean_zeta_s{0.0};   ///< fleet mean of per-node ζ
+  /// Population variance of per-node ζ (Welford; stable even for huge
+  /// fleets of near-equal ζ, where a sum-of-squares formula cancels).
+  double zeta_variance{0.0};
+  double zeta_stddev_s{0.0};
   /// Jain's fairness index over per-node ζ (1 = perfectly even).
   double zeta_fairness{1.0};
 };
@@ -56,11 +62,25 @@ struct DeploymentConfig {
 };
 
 /// Factory producing one scheduler per node (owned by the runner for the
-/// duration of the experiment).
+/// duration of the experiment). Must be safe to call concurrently from
+/// shard worker threads; each call must return a fresh scheduler.
 using SchedulerFactory =
     std::function<std::unique_ptr<node::Scheduler>(std::size_t node_index)>;
 
+/// Snapshot one simulated node into its NodeOutcome row.
+[[nodiscard]] NodeOutcome summarize_node(std::size_t node_index,
+                                         const node::SensorNode& sensor,
+                                         std::string scheduler_name,
+                                         std::size_t total_contacts);
+
+/// Recompute every aggregate field of `outcome` from its per-node rows,
+/// in node order, with `stats::OnlineStats` (single Welford pass — never
+/// a raw Σζ² that cancels catastrophically at fleet scale). Safe on an
+/// empty outcome (leaves the zero/identity defaults).
+void finalize_outcome(DeploymentOutcome& outcome);
+
 /// Run a deployment: one sensor node per schedule, all in one simulator.
+/// Equivalent to FleetEngine with a single shard.
 [[nodiscard]] DeploymentOutcome run_deployment(
     std::vector<contact::ContactSchedule> schedules,
     const SchedulerFactory& make_scheduler, const DeploymentConfig& config);

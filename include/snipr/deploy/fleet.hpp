@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+#include "snipr/contact/process.hpp"
+#include "snipr/contact/profile.hpp"
+#include "snipr/core/strategy.hpp"
+
+/// \file fleet.hpp
+/// Declarative description of a road-side fleet (the paper's Fig. 1
+/// network setting): N sensor nodes along one road, all visited by the
+/// same uncontrolled vehicle flow. Plain data so the scenario catalog can
+/// carry fleet entries without knowing how the engine runs them; the
+/// execution machinery lives in fleet_engine.hpp.
+
+namespace snipr::deploy {
+
+struct FleetSpec {
+  /// Sensor nodes along the road.
+  std::size_t nodes{64};
+  /// Position of node 0 (metres from the road entry) and the uniform
+  /// spacing between consecutive nodes.
+  double first_position_m{50.0};
+  double spacing_m{300.0};
+  /// Communication range shared by every node.
+  double range_m{10.0};
+
+  /// Vehicle entry-interval profile (rush hours!) and its jitter.
+  contact::ArrivalProfile flow_profile{contact::ArrivalProfile::roadside()};
+  contact::IntervalJitter jitter{contact::IntervalJitter::kNormalTenth};
+
+  /// Per-vehicle speed: truncated normal, or fixed when stddev <= 0.
+  double speed_mean_mps{10.0};
+  double speed_stddev_mps{1.5};
+  double speed_min_mps{2.0};
+
+  /// Probing mechanism every node runs, at this operating point.
+  core::Strategy strategy{core::Strategy::kSnipRh};
+  double zeta_target_s{16.0};
+};
+
+}  // namespace snipr::deploy

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snipr/deploy/deployment.hpp"
+#include "snipr/deploy/fleet.hpp"
+
+/// \file fleet_engine.hpp
+/// Sharded multi-threaded deployment engine.
+///
+/// `run_deployment` simulates every node of a fleet inside one
+/// single-threaded `Simulator`, which tops out at a few dozen nodes: the
+/// event heap holds the whole fleet (every pop pays log of the *fleet's*
+/// pending events) and only one core works. The FleetEngine partitions
+/// the fleet into shards, each owning its own `Simulator` over a
+/// contiguous block of nodes, and fans the shards out across a
+/// `core::ThreadPool`.
+///
+/// Determinism contract (the PR 1/PR 2 guarantee, extended to shards):
+/// node i's RNG stream is forked from a root seeded with `config.seed`
+/// in node order, *before* any partitioning — a pure function of
+/// (seed, i). Nodes never share mutable state (each has its own channel,
+/// buffer, budget and scheduler; shard simulators interleave their
+/// events but the nodes cannot observe each other), and per-shard
+/// NodeOutcomes are merged back in node order, then aggregated in one
+/// `stats::OnlineStats` pass. The outcome — and `to_json`'s bytes — is
+/// therefore identical for ANY shard and thread count.
+
+namespace snipr::deploy {
+
+struct FleetConfig {
+  /// Node configuration, link, epochs and root seed (shared by shards).
+  DeploymentConfig deployment{};
+  /// Simulator partitions; 0 = max(hardware threads, nodes/16), capped
+  /// at the node count. Purely a performance knob — results never
+  /// depend on it. More shards than threads still helps: each shard's
+  /// event heap covers only its own nodes, so pops sift shorter paths
+  /// over a hotter working set.
+  std::size_t shards{0};
+  /// Worker threads; 0 = hardware concurrency. Capped at the shard count.
+  std::size_t threads{0};
+};
+
+class FleetEngine {
+ public:
+  /// Run over pre-built schedules (node i runs schedules[i]).
+  [[nodiscard]] DeploymentOutcome run(
+      std::vector<contact::ContactSchedule> schedules,
+      const SchedulerFactory& make_scheduler, const FleetConfig& config) const;
+
+  /// Materialise `spec`'s road geometry and vehicle flow (one flow shared
+  /// by every node, so contacts stay correlated across the fleet), build
+  /// one scheduler per node from `spec.strategy` against `scenario`, and
+  /// run. The vehicle-flow RNG stream is drawn after all per-node forks,
+  /// so it is independent of every node stream.
+  [[nodiscard]] DeploymentOutcome run(const core::RoadsideScenario& scenario,
+                                      const FleetSpec& spec,
+                                      const FleetConfig& config) const;
+
+  /// Serialise an outcome as JSON (schema "snipr.fleet.v1"): aggregates
+  /// plus one compact row per node. Deterministic: same outcome, same
+  /// bytes — and outcomes are shard-count-independent, so this is what
+  /// the fleet golden corpus pins.
+  [[nodiscard]] static std::string to_json(const DeploymentOutcome& outcome);
+};
+
+/// Node/link configuration for a catalog-style fleet run: Ton and link
+/// from the scenario, epoch length from the flow profile, budget Φmax
+/// and the sensing rate implied by `spec.zeta_target_s`.
+[[nodiscard]] DeploymentConfig make_fleet_deployment_config(
+    const core::RoadsideScenario& scenario, const FleetSpec& spec,
+    double phi_max_s, std::size_t epochs, std::uint64_t seed);
+
+}  // namespace snipr::deploy

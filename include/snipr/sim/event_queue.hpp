@@ -3,8 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "snipr/sim/time.hpp"
@@ -20,9 +19,18 @@ using EventId = std::uint64_t;
 /// Invalid sentinel (never returned by schedule()).
 inline constexpr EventId kInvalidEventId = 0;
 
-/// Time-ordered queue of callbacks with O(log n) schedule/pop and
-/// O(1) lazy cancellation. Ties at equal timestamps run in schedule order
+/// Time-ordered queue of callbacks with O(log n) schedule/pop and O(1)
+/// amortised cancellation. Ties at equal timestamps run in schedule order
 /// (FIFO), which keeps runs deterministic.
+///
+/// The store is a flat binary min-heap over (timestamp, id) with the
+/// callback inline in each entry, so a pop is one sift-down — no side
+/// map lookup. cancel() only retires the id from the live set; the heap
+/// entry stays behind as a tombstone and is dropped lazily at the head,
+/// or swept in bulk whenever tombstones outnumber live entries (so a
+/// cancel-heavy workload — schedule/cancel in a tight loop — keeps the
+/// heap within a constant factor of the live count instead of growing
+/// without bound).
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -40,7 +48,13 @@ class EventQueue {
   /// True when no live events remain.
   [[nodiscard]] bool empty() const;
   /// Number of live (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+  /// Heap entries currently held, including cancelled tombstones awaiting
+  /// compaction. Tombstones only arise from cancel(), which re-checks the
+  /// compaction condition, so every cancel leaves the heap at most
+  /// max(2 * size(), compaction floor); pops in between only shrink it.
+  /// Exposed so tests can pin the no-leak guarantee.
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
 
   /// Pop the earliest event and return it; nullopt when empty.
   struct Popped {
@@ -54,19 +68,33 @@ class EventQueue {
   struct Entry {
     TimePoint at;
     EventId id;
-    bool operator>(const Entry& rhs) const noexcept {
-      if (at != rhs.at) return at > rhs.at;
-      return id > rhs.id;  // FIFO among equal timestamps
-    }
+    Callback fn;
   };
 
-  void drop_cancelled_head() const;
+  /// Min-heap order: earliest timestamp first, FIFO among equal stamps.
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.id < b.id;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // id -> callback; erased on cancel or pop. Present iff the event is live.
-  std::unordered_map<EventId, Callback> live_callbacks_;
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  /// Remove the root entry (sift the last entry down into its place).
+  void remove_root() const;
+  /// Drop tombstones sitting at the heap head.
+  void drop_cancelled_head() const;
+  /// Sweep every tombstone and re-heapify when they outnumber live
+  /// entries (and the heap is big enough for the sweep to matter).
+  void maybe_compact();
+
+  // The heap is mutable so const observers (next_time) can shed
+  // tombstoned heads they encounter, exactly like the lazy-deletion
+  // priority_queue this replaces.
+  mutable std::vector<Entry> heap_;
+  // Ids of live (scheduled, not cancelled, not popped) events. An entry
+  // in heap_ is a tombstone iff its id is no longer in this set.
+  std::unordered_set<EventId> live_;
   EventId next_id_{1};
-  std::size_t live_{0};
 };
 
 }  // namespace snipr::sim

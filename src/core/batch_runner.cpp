@@ -1,13 +1,11 @@
 #include "snipr/core/batch_runner.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <exception>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "snipr/core/json_writer.hpp"
+#include "snipr/core/thread_pool.hpp"
 
 namespace snipr::core {
 
@@ -49,10 +47,7 @@ std::vector<BatchRun> expand_sweep(const SweepSpec& sweep) {
 }
 
 BatchRunner::BatchRunner(Config config) : threads_(config.threads) {
-  if (threads_ == 0) {
-    threads_ = std::thread::hardware_concurrency();
-    if (threads_ == 0) threads_ = 1;
-  }
+  if (threads_ == 0) threads_ = ThreadPool::hardware_threads();
 }
 
 namespace {
@@ -79,40 +74,11 @@ BatchRunResult execute_one(const BatchRun& spec) {
 std::vector<BatchRunResult> BatchRunner::run(
     const std::vector<BatchRun>& runs) const {
   std::vector<BatchRunResult> results(runs.size());
-  if (runs.empty()) return results;
-
-  const std::size_t workers = std::min(threads_, runs.size());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      results[i] = execute_one(runs[i]);
-    }
-    return results;
-  }
-
-  // Work stealing over a shared index: result slot i belongs to spec i, so
-  // assignment order cannot influence output order, and each run seeds its
-  // own Simulator, so streams never interleave across workers.
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= runs.size()) return;
-      try {
-        results[i] = execute_one(runs[i]);
-      } catch (...) {
-        const std::scoped_lock lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Result slot i belongs to spec i and each run seeds its own Simulator,
+  // so worker assignment cannot influence output order or RNG streams.
+  const ThreadPool pool{threads_};
+  pool.parallel_for(runs.size(),
+                    [&](std::size_t i) { results[i] = execute_one(runs[i]); });
   return results;
 }
 
@@ -162,68 +128,11 @@ std::vector<BatchAggregate> BatchRunner::aggregate(
   return cells;
 }
 
-namespace {
-
-/// Minimal deterministic JSON building: fixed field order, "%.10g"
-/// doubles, no locale dependence (snprintf with the C locale's point —
-/// metrics never pass through iostreams).
-void append_number(std::string& out, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.10g", value);
-  out += buffer;
-}
-
-void append_field(std::string& out, const char* key, double value,
-                  bool comma = true) {
-  out += '"';
-  out += key;
-  out += "\":";
-  append_number(out, value);
-  if (comma) out += ',';
-}
-
-void append_uint_field(std::string& out, const char* key,
-                       std::uint64_t value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%llu",
-                static_cast<unsigned long long>(value));
-  out += '"';
-  out += key;
-  out += "\":";
-  out += buffer;
-  out += ',';
-}
-
-void append_string_field(std::string& out, const char* key,
-                         std::string_view value) {
-  out += '"';
-  out += key;
-  out += "\":\"";
-  for (const char c : value) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char escaped[8];
-          std::snprintf(escaped, sizeof escaped, "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += escaped;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += "\",";
-}
-
-}  // namespace
-
 std::string BatchRunner::to_json(const std::vector<BatchRunResult>& results) {
+  using json::append_field;
+  using json::append_string_field;
+  using json::append_uint_field;
+
   std::string out;
   out.reserve(512 + 512 * results.size());
   out += "{\"schema\":\"snipr.batch.v1\",\"runs\":[";

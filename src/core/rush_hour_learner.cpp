@@ -15,7 +15,8 @@ RushHourLearner::RushHourLearner(sim::Duration epoch, std::size_t slot_count,
       effort_prior_s_{effort_prior_s},
       scores_(slot_count, 0.0),
       current_counts_(slot_count, 0.0),
-      current_effort_s_(slot_count, 0.0) {
+      current_effort_s_(slot_count, 0.0),
+      slot_seeded_(slot_count, 0) {
   if (effort_prior_s < 0.0) {
     throw std::invalid_argument(
         "RushHourLearner: effort prior must be >= 0");
@@ -71,13 +72,18 @@ void RushHourLearner::finish_epoch() {
     } else {
       sample = current_counts_[s];
     }
-    if (!scores_initialised_) {
+    // A slot's first real sample seeds its score; only later samples are
+    // EWMA-blended. Seeding is per slot: a slot skipped above (no effort,
+    // no information) must not be treated as initialised-at-0.0, or its
+    // eventual first sample would be damped by epoch_weight_ against a
+    // prior that was never observed.
+    if (slot_seeded_[s] == 0) {
       scores_[s] = sample;
+      slot_seeded_[s] = 1;
     } else {
       scores_[s] += epoch_weight_ * (sample - scores_[s]);
     }
   }
-  scores_initialised_ = true;
   std::fill(current_counts_.begin(), current_counts_.end(), 0.0);
   std::fill(current_effort_s_.begin(), current_effort_s_.end(), 0.0);
   ++epochs_;

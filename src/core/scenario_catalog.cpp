@@ -1,6 +1,7 @@
 #include "snipr/core/scenario_catalog.hpp"
 
 #include <array>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -71,6 +72,38 @@ RoadsideScenario one_trace_scenario() {
   sc.rush_mask = RushHourMask::top_k(sim::Duration::hours(24), kHours,
                                      stats.slots_by_count(), 3);
   sc.tcontact_s = 2.0;
+  return sc;
+}
+
+/// Sparse rural road: rare contacts all day with a mild midday bump, but
+/// each contact lingers (slow vehicles). Shared by the single-node entry
+/// and the rural fleet entry so the two stay one environment.
+RoadsideScenario sparse_rural_scenario() {
+  std::vector<double> intervals = flat_intervals(5400.0);
+  for (const std::size_t h : {10U, 11U, 12U, 13U}) intervals[h] = 2700.0;
+  RoadsideScenario sc;
+  sc.profile = profile24(std::move(intervals));
+  sc.rush_mask = RushHourMask::from_hours({10, 11, 12, 13});
+  sc.tcontact_s = 6.0;
+  return sc;
+}
+
+/// Multi-peak urban arterial on a 48-slot grid: five separate peaks,
+/// exercising non-24 slot counts end to end. Shared by the single-node
+/// entry and the urban fleet entry.
+RoadsideScenario multi_peak_urban_scenario() {
+  constexpr std::array<std::size_t, 10> kPeaks{14, 15, 18, 19, 24,
+                                               25, 34, 35, 38, 39};
+  std::vector<double> intervals(48, 1500.0);
+  std::vector<bool> bits(48, false);
+  for (const std::size_t slot : kPeaks) {
+    intervals[slot] = 360.0;
+    bits[slot] = true;
+  }
+  RoadsideScenario sc;
+  sc.profile = contact::ArrivalProfile{sim::Duration::hours(24),
+                                       std::move(intervals)};
+  sc.rush_mask = RushHourMask{sim::Duration::hours(24), std::move(bits)};
   return sc;
 }
 
@@ -155,38 +188,16 @@ std::vector<CatalogEntry> build_entries() {
 
   // 6. Sparse rural road: rare contacts all day with a mild midday bump,
   // but each contact lingers (slow vehicles).
-  {
-    std::vector<double> intervals = flat_intervals(5400.0);
-    for (const std::size_t h : {10U, 11U, 12U, 13U}) intervals[h] = 2700.0;
-    RoadsideScenario sc;
-    sc.profile = profile24(std::move(intervals));
-    sc.rush_mask = RushHourMask::from_hours({10, 11, 12, 13});
-    sc.tcontact_s = 6.0;
-    entries.push_back(make_entry(
-        "sparse-rural",
-        "rare contacts with a mild 10-14 bump; long 6 s contacts",
-        std::move(sc), {8.0, 24.0}));
-  }
+  entries.push_back(make_entry(
+      "sparse-rural",
+      "rare contacts with a mild 10-14 bump; long 6 s contacts",
+      sparse_rural_scenario(), {8.0, 24.0}));
 
   // 7. Multi-peak urban arterial on a 48-slot grid: five separate peaks,
   // exercising non-24 slot counts end to end.
-  {
-    constexpr std::array<std::size_t, 10> kPeaks{14, 15, 18, 19, 24,
-                                                 25, 34, 35, 38, 39};
-    std::vector<double> intervals(48, 1500.0);
-    std::vector<bool> bits(48, false);
-    for (const std::size_t slot : kPeaks) {
-      intervals[slot] = 360.0;
-      bits[slot] = true;
-    }
-    RoadsideScenario sc;
-    sc.profile = contact::ArrivalProfile{sim::Duration::hours(24),
-                                         std::move(intervals)};
-    sc.rush_mask = RushHourMask{sim::Duration::hours(24), std::move(bits)};
-    entries.push_back(make_entry(
-        "multi-peak-urban", "five half-hour-resolved peaks on a 48-slot grid",
-        std::move(sc), {16.0, 40.0}));
-  }
+  entries.push_back(make_entry(
+      "multi-peak-urban", "five half-hour-resolved peaks on a 48-slot grid",
+      multi_peak_urban_scenario(), {16.0, 40.0}));
 
   // 8. Flat adversarial: a uniform contact process under the paper's
   // default mask. There is no rush hour to exploit; SNIP-RH's gain must
@@ -242,6 +253,75 @@ std::vector<CatalogEntry> build_entries() {
       "one-trace-commuter",
       "profile estimated from a ONE connectivity trace, morning-only rush",
       one_trace_scenario(), {8.0, 24.0}));
+
+  // --- Fleet entries (deploy::FleetEngine; snipr_cli --fleet). The
+  // scenario field holds the per-node environment; the FleetSpec the road
+  // geometry and the shared vehicle flow.
+
+  // 13. The paper's Fig. 1 network at deployment scale: 1024 road-side
+  // nodes spread along 300 km of highway, one diurnal commuter flow.
+  {
+    auto fleet = std::make_shared<deploy::FleetSpec>();
+    fleet->nodes = 1024;
+    fleet->spacing_m = 300.0;
+    fleet->range_m = 10.0;
+    fleet->speed_mean_mps = 10.0;
+    fleet->speed_stddev_mps = 1.5;
+    fleet->speed_min_mps = 2.0;
+    fleet->strategy = Strategy::kSnipRh;
+    fleet->zeta_target_s = 16.0;
+    CatalogEntry entry = make_entry(
+        "fleet-highway-1k",
+        "1024-node highway fleet, shared roadside flow, SNIP-RH per node",
+        RoadsideScenario{}, {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 14. Dense urban arterial grid: 256 closely spaced nodes under the
+  // 48-slot multi-peak flow, every node learning its mask online — the
+  // adaptive learner exercised at fleet scale.
+  {
+    RoadsideScenario sc = multi_peak_urban_scenario();
+    auto fleet = std::make_shared<deploy::FleetSpec>();
+    fleet->nodes = 256;
+    fleet->spacing_m = 120.0;
+    fleet->range_m = 12.0;
+    fleet->flow_profile = sc.profile;
+    fleet->speed_mean_mps = 8.0;
+    fleet->speed_stddev_mps = 2.0;
+    fleet->speed_min_mps = 1.5;
+    fleet->strategy = Strategy::kAdaptive;
+    fleet->zeta_target_s = 16.0;
+    CatalogEntry entry = make_entry(
+        "fleet-urban-grid",
+        "256-node urban grid on the 48-slot multi-peak flow, adaptive nodes",
+        std::move(sc), {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 15. Long rural collection route: 96 nodes a kilometre apart, slow
+  // sparse traffic with lingering contacts, planned SNIP-OPT duties.
+  {
+    RoadsideScenario sc = sparse_rural_scenario();
+    auto fleet = std::make_shared<deploy::FleetSpec>();
+    fleet->nodes = 96;
+    fleet->spacing_m = 1000.0;
+    fleet->range_m = 20.0;
+    fleet->flow_profile = sc.profile;
+    fleet->speed_mean_mps = 15.0;
+    fleet->speed_stddev_mps = 3.0;
+    fleet->speed_min_mps = 4.0;
+    fleet->strategy = Strategy::kSnipOpt;
+    fleet->zeta_target_s = 8.0;
+    CatalogEntry entry = make_entry(
+        "fleet-rural-sparse",
+        "96-node rural route, 1 km spacing, sparse slow flow, SNIP-OPT",
+        std::move(sc), {8.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
 
   return entries;
 }

@@ -1,0 +1,56 @@
+#include "snipr/core/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snipr::core {
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) threads_ = hardware_threads();
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (count == 0) return;
+
+  const std::size_t workers = std::min(threads_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Work stealing over a shared index: item i goes to whichever worker
+  // increments past it, so load balances itself while every item keeps a
+  // stable identity.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::scoped_lock lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace snipr::core

@@ -1,109 +1,74 @@
 #include "snipr/deploy/deployment.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "snipr/node/mobile_node.hpp"
-#include "snipr/radio/channel.hpp"
-#include "snipr/sim/simulator.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
+#include "snipr/stats/online_stats.hpp"
 
 namespace snipr::deploy {
+
+NodeOutcome summarize_node(std::size_t node_index,
+                           const node::SensorNode& sensor,
+                           std::string scheduler_name,
+                           std::size_t total_contacts) {
+  NodeOutcome n;
+  n.node_index = node_index;
+  n.scheduler_name = std::move(scheduler_name);
+  const auto& history = sensor.epoch_history();
+  n.epochs = history.size();
+  for (const node::EpochStats& e : history) {
+    n.mean_zeta_s += e.zeta.to_seconds();
+    n.mean_phi_s += e.phi.to_seconds();
+    n.mean_bytes_uploaded += e.bytes_uploaded;
+    n.mean_contacts_probed += static_cast<double>(e.contacts_probed);
+  }
+  if (!history.empty()) {
+    const auto count = static_cast<double>(history.size());
+    n.mean_zeta_s /= count;
+    n.mean_phi_s /= count;
+    n.mean_bytes_uploaded /= count;
+    n.mean_contacts_probed /= count;
+  }
+  if (total_contacts > 0) {
+    n.miss_ratio = 1.0 - static_cast<double>(sensor.probed_contacts().size()) /
+                             static_cast<double>(total_contacts);
+  }
+  n.mean_delivery_latency_s = sensor.buffer().mean_delivery_latency_s();
+  return n;
+}
+
+void finalize_outcome(DeploymentOutcome& outcome) {
+  outcome.total_zeta_s = 0.0;
+  outcome.total_phi_s = 0.0;
+  outcome.total_bytes = 0.0;
+  stats::OnlineStats zeta;
+  for (const NodeOutcome& n : outcome.nodes) {
+    outcome.total_zeta_s += n.mean_zeta_s;
+    outcome.total_phi_s += n.mean_phi_s;
+    outcome.total_bytes += n.mean_bytes_uploaded;
+    zeta.add(n.mean_zeta_s);
+  }
+  if (zeta.count() == 0) return;
+  outcome.min_zeta_s = zeta.min();
+  outcome.max_zeta_s = zeta.max();
+  outcome.mean_zeta_s = zeta.mean();
+  outcome.zeta_variance = zeta.variance();
+  outcome.zeta_stddev_s = zeta.stddev();
+  // Jain's index (Σζ)²/(nΣζ²) rewritten on (mean, variance):
+  //   Σζ = n·mean, Σζ² = n·(variance + mean²)  =>  mean²/(mean² + var).
+  // Algebraically identical, but conditioned on the *spread* instead of
+  // on the difference of two enormous nearly-equal sums.
+  const double mean_sq = zeta.mean() * zeta.mean();
+  const double denom = mean_sq + zeta.variance();
+  outcome.zeta_fairness = denom > 0.0 ? mean_sq / denom : 1.0;
+}
 
 DeploymentOutcome run_deployment(
     std::vector<contact::ContactSchedule> schedules,
     const SchedulerFactory& make_scheduler, const DeploymentConfig& config) {
-  if (schedules.empty()) {
-    throw std::invalid_argument("run_deployment: no schedules");
-  }
-  if (!make_scheduler) {
-    throw std::invalid_argument("run_deployment: scheduler factory required");
-  }
-
-  sim::Simulator simulator{config.seed};
-
-  struct NodeWorld {
-    std::size_t total_contacts{0};
-    std::unique_ptr<radio::Channel> channel;
-    std::unique_ptr<node::MobileNode> sink;
-    std::unique_ptr<node::Scheduler> scheduler;
-    std::unique_ptr<node::SensorNode> sensor;
-  };
-  std::vector<NodeWorld> worlds;
-  worlds.reserve(schedules.size());
-
-  for (std::size_t i = 0; i < schedules.size(); ++i) {
-    NodeWorld w;
-    w.total_contacts = schedules[i].size();
-    w.channel = std::make_unique<radio::Channel>(
-        std::move(schedules[i]), config.link, simulator.rng().fork());
-    w.sink = std::make_unique<node::MobileNode>();
-    w.scheduler = make_scheduler(i);
-    if (w.scheduler == nullptr) {
-      throw std::invalid_argument("run_deployment: factory returned null");
-    }
-    w.sensor = std::make_unique<node::SensorNode>(
-        simulator, *w.channel, *w.sink, *w.scheduler, config.node);
-    w.sensor->start();
-    worlds.push_back(std::move(w));
-  }
-
-  const sim::Duration horizon =
-      config.node.epoch * static_cast<std::int64_t>(config.epochs);
-  simulator.run_until(sim::TimePoint::zero() + horizon);
-
-  DeploymentOutcome outcome;
-  outcome.nodes.reserve(worlds.size());
-  double sum_zeta = 0.0;
-  double sum_zeta_sq = 0.0;
-  for (std::size_t i = 0; i < worlds.size(); ++i) {
-    const NodeWorld& w = worlds[i];
-    NodeOutcome n;
-    n.node_index = i;
-    n.scheduler_name = w.scheduler->name();
-    const auto& history = w.sensor->epoch_history();
-    n.epochs = history.size();
-    for (const node::EpochStats& e : history) {
-      n.mean_zeta_s += e.zeta.to_seconds();
-      n.mean_phi_s += e.phi.to_seconds();
-      n.mean_bytes_uploaded += e.bytes_uploaded;
-      n.mean_contacts_probed += static_cast<double>(e.contacts_probed);
-    }
-    if (!history.empty()) {
-      const auto count = static_cast<double>(history.size());
-      n.mean_zeta_s /= count;
-      n.mean_phi_s /= count;
-      n.mean_bytes_uploaded /= count;
-      n.mean_contacts_probed /= count;
-    }
-    if (w.total_contacts > 0) {
-      n.miss_ratio =
-          1.0 - static_cast<double>(w.sensor->probed_contacts().size()) /
-                    static_cast<double>(w.total_contacts);
-    }
-    n.mean_delivery_latency_s =
-        w.sensor->buffer().mean_delivery_latency_s();
-
-    outcome.total_zeta_s += n.mean_zeta_s;
-    outcome.total_phi_s += n.mean_phi_s;
-    outcome.total_bytes += n.mean_bytes_uploaded;
-    sum_zeta += n.mean_zeta_s;
-    sum_zeta_sq += n.mean_zeta_s * n.mean_zeta_s;
-    outcome.nodes.push_back(std::move(n));
-  }
-
-  auto zeta_of = [](const NodeOutcome& n) { return n.mean_zeta_s; };
-  const auto [lo, hi] = std::minmax_element(
-      outcome.nodes.begin(), outcome.nodes.end(),
-      [&](const NodeOutcome& a, const NodeOutcome& b) {
-        return zeta_of(a) < zeta_of(b);
-      });
-  outcome.min_zeta_s = zeta_of(*lo);
-  outcome.max_zeta_s = zeta_of(*hi);
-  const auto n_nodes = static_cast<double>(outcome.nodes.size());
-  outcome.zeta_fairness =
-      sum_zeta_sq > 0.0 ? (sum_zeta * sum_zeta) / (n_nodes * sum_zeta_sq)
-                        : 1.0;
-  return outcome;
+  FleetConfig fleet;
+  fleet.deployment = config;
+  fleet.shards = 1;
+  fleet.threads = 1;
+  return FleetEngine{}.run(std::move(schedules), make_scheduler, fleet);
 }
 
 }  // namespace snipr::deploy

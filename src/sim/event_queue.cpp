@@ -1,50 +1,94 @@
 #include "snipr/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace snipr::sim {
+namespace {
+
+/// Below this many entries a sweep saves nothing worth its cost; it also
+/// keeps steady small queues from compacting on every other cancel.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
+void EventQueue::sift_up(std::size_t i) const {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && before(heap_[right], heap_[left])) smallest = right;
+    if (!before(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void EventQueue::remove_root() const {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
+    remove_root();
+  }
+}
 
 EventId EventQueue::schedule(TimePoint at, Callback fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  live_callbacks_.emplace(id, std::move(fn));
-  ++live_;
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  live_.insert(id);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = live_callbacks_.find(id);
-  if (it == live_callbacks_.end()) return false;
-  live_callbacks_.erase(it);
-  --live_;
-  // The heap entry stays behind and is skipped lazily on pop/next_time.
+  if (live_.erase(id) == 0) return false;
+  // The heap entry stays behind as a tombstone, skipped lazily at the
+  // head — unless tombstones now dominate, in which case sweep them all.
+  maybe_compact();
   return true;
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() &&
-         live_callbacks_.find(heap_.top().id) == live_callbacks_.end()) {
-    heap_.pop();
-  }
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactionFloor) return;
+  if (heap_.size() <= 2 * live_.size()) return;
+  const auto dead = [this](const Entry& e) {
+    return live_.find(e.id) == live_.end();
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  // Floyd heapify: O(n), cheaper than re-inserting survivors one by one.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
 }
 
 std::optional<TimePoint> EventQueue::next_time() const {
   drop_cancelled_head();
   if (heap_.empty()) return std::nullopt;
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
-bool EventQueue::empty() const { return live_ == 0; }
+bool EventQueue::empty() const { return live_.empty(); }
 
 std::optional<EventQueue::Popped> EventQueue::pop() {
   drop_cancelled_head();
   if (heap_.empty()) return std::nullopt;
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = live_callbacks_.find(top.id);
-  Popped out{top.at, top.id, std::move(it->second)};
-  live_callbacks_.erase(it);
-  --live_;
+  Entry& top = heap_.front();
+  Popped out{top.at, top.id, std::move(top.fn)};
+  live_.erase(out.id);
+  remove_root();
   return out;
 }
 

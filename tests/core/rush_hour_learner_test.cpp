@@ -76,6 +76,30 @@ TEST(RushHourLearner, TracksShiftedPattern) {
   EXPECT_FALSE(mask.is_rush_slot(7));
 }
 
+TEST(RushHourLearner, EffortModeSeedsSlotOnItsFirstRealSample) {
+  // Regression: finish_epoch used to flip one global initialised flag, so
+  // a slot skipped in effort mode (zero effort = no information) was
+  // treated as initialised-at-0.0 and its *first real* sample in a later
+  // epoch was EWMA-damped against that bogus prior. Initialisation must
+  // be per slot: the first sample seeds the score outright.
+  RushHourLearner learner{Duration::hours(24), 24, 1, /*epoch_weight=*/0.3};
+  // Epoch 0: effort (and probes) only in slot 7 -> rate 4/(10+2) = 1/3.
+  learner.record_effort(at_h(7.5), Duration::seconds(10));
+  for (int i = 0; i < 4; ++i) learner.record_probe(at_h(7.5));
+  learner.finish_epoch();
+  EXPECT_DOUBLE_EQ(learner.scores()[7], 4.0 / 12.0);
+  // Epoch 1: slot 12 observed for the first time -> rate 6/(10+2) = 0.5.
+  learner.record_effort(at_h(12.5), Duration::seconds(10));
+  for (int i = 0; i < 6; ++i) learner.record_probe(at_h(12.5));
+  learner.finish_epoch();
+  // Seeded at the sample, not 0 + 0.3*(0.5-0) = 0.15.
+  EXPECT_DOUBLE_EQ(learner.scores()[12], 0.5);
+  // Consequence of the bias: the busier slot 12 must outrank slot 7. The
+  // damped 0.15 would have kept the stale slot 7 in the mask.
+  EXPECT_TRUE(learner.mask().is_rush_slot(12));
+  EXPECT_FALSE(learner.mask().is_rush_slot(7));
+}
+
 TEST(RushHourLearner, SlotsByScoreStableTies) {
   RushHourLearner learner = make_learner();
   feed_epoch(learner, 0, {{5.5, 3}, {11.5, 3}});

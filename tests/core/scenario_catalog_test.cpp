@@ -122,5 +122,28 @@ TEST(ScenarioCatalog, CatalogSweepCoversAllStrategiesAndSeeds) {
   EXPECT_EQ(runs.size(), 4U * entry.zeta_targets_s.size() * 3U);
 }
 
+TEST(ScenarioCatalog, FleetEntriesCarryConsistentSpecs) {
+  std::size_t fleets = 0;
+  for (const CatalogEntry& entry : catalog().entries()) {
+    if (!entry.is_fleet()) continue;
+    ++fleets;
+    const deploy::FleetSpec& spec = *entry.fleet;
+    EXPECT_GE(spec.nodes, 64U) << entry.name;
+    EXPECT_GT(spec.spacing_m, 0.0) << entry.name;
+    EXPECT_GT(spec.range_m, 0.0) << entry.name;
+    EXPECT_GT(spec.speed_mean_mps, 0.0) << entry.name;
+    // The shared vehicle flow and the per-node environment must describe
+    // the same epoch, or fleet epochs and scenario slots drift apart.
+    EXPECT_EQ(spec.flow_profile.epoch(), entry.scenario.profile.epoch())
+        << entry.name;
+    EXPECT_GT(spec.flow_profile.expected_contacts_per_epoch(), 0.0)
+        << entry.name;
+  }
+  EXPECT_GE(fleets, 3U);
+  const CatalogEntry& highway = catalog().at("fleet-highway-1k");
+  ASSERT_TRUE(highway.is_fleet());
+  EXPECT_EQ(highway.fleet->nodes, 1024U);
+}
+
 }  // namespace
 }  // namespace snipr::core

@@ -1,5 +1,7 @@
 #include "snipr/deploy/deployment.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "snipr/core/snip_rh.hpp"
@@ -86,6 +88,57 @@ TEST(Deployment, DeterministicAcrossRuns) {
     EXPECT_DOUBLE_EQ(a.nodes[i].mean_zeta_s, b.nodes[i].mean_zeta_s);
     EXPECT_DOUBLE_EQ(a.nodes[i].mean_phi_s, b.nodes[i].mean_phi_s);
   }
+}
+
+TEST(Deployment, FinalizeOutcomeSurvivesNearEqualZetaAtScale) {
+  // Regression: the fleet ζ variance used to come from a raw
+  // Σζ² − n·mean² sum of squares, which cancels catastrophically for a
+  // large fleet of near-equal ζ (the shared-flow steady state): with the
+  // values below the two sums agree to ~16 significant digits and the
+  // subtraction returns noise ~1e4, ten orders of magnitude above the
+  // true variance. Welford (stats::OnlineStats) recovers it.
+  DeploymentOutcome out;
+  constexpr std::size_t kNodes = 10'000;
+  constexpr double kBase = 1.0e8;
+  constexpr double kStep = 1.0e-6;
+  out.nodes.reserve(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    NodeOutcome n;
+    n.node_index = i;
+    n.mean_zeta_s = kBase + kStep * static_cast<double>(i);
+    out.nodes.push_back(std::move(n));
+  }
+  finalize_outcome(out);
+
+  // Arithmetic progression of n terms with step d: population variance
+  // d²(n²−1)/12.
+  // Tolerance: at ζ ≈ 1e8 the inputs themselves are quantised to
+  // ulp ≈ 1.5e-8, which perturbs the true variance by a few tenths of a
+  // percent — the signal the sum-of-squares formula misses by ten orders
+  // of magnitude.
+  const auto n = static_cast<double>(kNodes);
+  const double expected_var = kStep * kStep * (n * n - 1.0) / 12.0;
+  EXPECT_NEAR(out.zeta_variance, expected_var, expected_var * 1e-2);
+  EXPECT_NEAR(out.zeta_stddev_s, std::sqrt(expected_var),
+              std::sqrt(expected_var) * 1e-2);
+  EXPECT_DOUBLE_EQ(out.min_zeta_s, kBase);
+  EXPECT_DOUBLE_EQ(out.max_zeta_s, kBase + kStep * (n - 1.0));
+  EXPECT_NEAR(out.mean_zeta_s, kBase + kStep * (n - 1.0) / 2.0, 1e-4);
+  // Spread is ~1e-10 of the mean: fairness must be 1 to double precision,
+  // not the garbage the cancelling formula produced.
+  EXPECT_DOUBLE_EQ(out.zeta_fairness, 1.0);
+  EXPECT_NEAR(out.total_zeta_s, n * kBase, n * kBase * 1e-9);
+}
+
+TEST(Deployment, OutcomeCarriesWelfordAggregates) {
+  const auto out = run_deployment(two_day_schedules({100.0, 900.0, 4200.0}),
+                                  rh_factory(), quick_config());
+  EXPECT_NEAR(out.mean_zeta_s, out.total_zeta_s / 3.0, 1e-9);
+  EXPECT_NEAR(out.zeta_stddev_s * out.zeta_stddev_s, out.zeta_variance,
+              1e-9);
+  EXPECT_GE(out.zeta_variance, 0.0);
+  EXPECT_LE(out.min_zeta_s, out.mean_zeta_s);
+  EXPECT_GE(out.max_zeta_s, out.mean_zeta_s);
 }
 
 TEST(Deployment, Validation) {

@@ -1,0 +1,134 @@
+#include "snipr/deploy/fleet_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/snip_rh.hpp"
+#include "snipr/deploy/road_contacts.hpp"
+
+namespace snipr::deploy {
+namespace {
+
+using sim::Duration;
+
+std::vector<contact::ContactSchedule> two_day_schedules(
+    const std::vector<double>& positions, std::uint64_t seed = 2) {
+  VehicleFlow flow;
+  flow.jitter = contact::IntervalJitter::kNormalTenth;
+  sim::Rng rng{seed};
+  const auto vehicles =
+      materialize_vehicles(flow, Duration::hours(24) * 2, rng);
+  return build_road_schedules(positions, 10.0, vehicles);
+}
+
+SchedulerFactory rh_factory() {
+  return [](std::size_t) {
+    return std::make_unique<core::SnipRh>(
+        core::RushHourMask::from_hours({7, 8, 17, 18}),
+        core::SnipRhConfig{});
+  };
+}
+
+FleetConfig quick_config(std::size_t shards) {
+  FleetConfig cfg;
+  cfg.deployment.epochs = 2;
+  cfg.deployment.node.budget_limit = Duration::seconds(864.0);
+  cfg.deployment.node.sensing_rate_bps = 1e6;  // no data gating
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(FleetEngine, MatchesRunDeploymentExactly) {
+  // run_deployment is FleetEngine at one shard; both must agree with a
+  // multi-shard run bit for bit (the per-node streams are fixed before
+  // partitioning).
+  const std::vector<double> positions{100.0, 900.0, 4200.0, 7100.0};
+  DeploymentConfig legacy;
+  legacy.epochs = 2;
+  legacy.node.budget_limit = Duration::seconds(864.0);
+  legacy.node.sensing_rate_bps = 1e6;
+  const auto reference =
+      run_deployment(two_day_schedules(positions), rh_factory(), legacy);
+  const auto sharded = FleetEngine{}.run(two_day_schedules(positions),
+                                         rh_factory(), quick_config(3));
+  ASSERT_EQ(reference.nodes.size(), sharded.nodes.size());
+  for (std::size_t i = 0; i < reference.nodes.size(); ++i) {
+    EXPECT_EQ(reference.nodes[i].node_index, sharded.nodes[i].node_index);
+    EXPECT_DOUBLE_EQ(reference.nodes[i].mean_zeta_s,
+                     sharded.nodes[i].mean_zeta_s);
+    EXPECT_DOUBLE_EQ(reference.nodes[i].mean_phi_s,
+                     sharded.nodes[i].mean_phi_s);
+    EXPECT_DOUBLE_EQ(reference.nodes[i].miss_ratio,
+                     sharded.nodes[i].miss_ratio);
+  }
+  EXPECT_DOUBLE_EQ(reference.zeta_fairness, sharded.zeta_fairness);
+  EXPECT_DOUBLE_EQ(reference.zeta_variance, sharded.zeta_variance);
+}
+
+TEST(FleetEngine, AggregatesAreInternallyConsistent) {
+  const auto out = FleetEngine{}.run(
+      two_day_schedules({100.0, 900.0, 4200.0}), rh_factory(),
+      quick_config(2));
+  double sum = 0.0;
+  for (const NodeOutcome& n : out.nodes) sum += n.mean_zeta_s;
+  EXPECT_NEAR(out.total_zeta_s, sum, 1e-9);
+  EXPECT_NEAR(out.mean_zeta_s, sum / 3.0, 1e-9);
+  EXPECT_NEAR(out.zeta_stddev_s * out.zeta_stddev_s, out.zeta_variance,
+              1e-12);
+  EXPECT_GE(out.max_zeta_s, out.min_zeta_s);
+  const double mean_sq = out.mean_zeta_s * out.mean_zeta_s;
+  EXPECT_NEAR(out.zeta_fairness, mean_sq / (mean_sq + out.zeta_variance),
+              1e-12);
+}
+
+TEST(FleetEngine, SpecRunBuildsTheWholeFleet) {
+  core::RoadsideScenario scenario;
+  FleetSpec spec;
+  spec.nodes = 6;
+  spec.spacing_m = 500.0;
+  spec.strategy = core::Strategy::kSnipRh;
+  FleetConfig config;
+  config.deployment = make_fleet_deployment_config(scenario, spec,
+                                                   /*phi_max_s=*/864.0,
+                                                   /*epochs=*/2, /*seed=*/3);
+  const auto out = FleetEngine{}.run(scenario, spec, config);
+  ASSERT_EQ(out.nodes.size(), 6U);
+  for (const NodeOutcome& n : out.nodes) {
+    EXPECT_EQ(n.scheduler_name, "SNIP-RH");
+    EXPECT_EQ(n.epochs, 2U);
+    EXPECT_GT(n.mean_zeta_s, 0.0);
+  }
+}
+
+TEST(FleetEngine, ToJsonIsDeterministicAndStructured) {
+  const auto out = FleetEngine{}.run(two_day_schedules({100.0, 5000.0}),
+                                     rh_factory(), quick_config(2));
+  const std::string json = FleetEngine::to_json(out);
+  EXPECT_EQ(json.rfind("{\"schema\":\"snipr.fleet.v1\",\"nodes\":2,", 0), 0U);
+  EXPECT_NE(json.find("\"per_node\":["), std::string::npos);
+  EXPECT_NE(json.find("\"zeta_fairness\":"), std::string::npos);
+  EXPECT_EQ(json, FleetEngine::to_json(out));
+}
+
+TEST(FleetEngine, Validation) {
+  EXPECT_THROW(
+      (void)FleetEngine{}.run({}, rh_factory(), quick_config(1)),
+      std::invalid_argument);
+  EXPECT_THROW((void)FleetEngine{}.run(two_day_schedules({100.0}), nullptr,
+                                       quick_config(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)FleetEngine{}.run(two_day_schedules({100.0}),
+                              [](std::size_t) {
+                                return std::unique_ptr<node::Scheduler>{};
+                              },
+                              quick_config(1)),
+      std::invalid_argument);
+  core::RoadsideScenario scenario;
+  FleetSpec bad;
+  bad.nodes = 0;
+  EXPECT_THROW((void)FleetEngine{}.run(scenario, bad, quick_config(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snipr::deploy

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace snipr::sim {
@@ -96,6 +97,66 @@ TEST(EventQueue, PoppedCarriesTimestampAndId) {
   ASSERT_TRUE(e.has_value());
   EXPECT_EQ(e->at, at_s(4));
   EXPECT_EQ(e->id, id);
+}
+
+TEST(EventQueue, CancelHeavyWorkloadKeepsHeapBounded) {
+  // Regression: cancel() used to leave its heap entry behind forever
+  // (only the head was lazily dropped), so a schedule/cancel loop — the
+  // steady state of any retimed-wakeup workload — grew the heap without
+  // bound while size() reported almost empty. With periodic compaction
+  // the heap must stay within a constant factor of the live count.
+  EventQueue q;
+  constexpr int kEvents = 1'000'000;
+  std::size_t max_heap = 0;
+  EventId previous = kInvalidEventId;
+  for (int i = 0; i < kEvents; ++i) {
+    // Never-decreasing timestamps, like a forward-running simulation.
+    const EventId id = q.schedule(at_s(static_cast<double>(i)), [] {});
+    if (previous != kInvalidEventId) {
+      EXPECT_TRUE(q.cancel(previous));
+    }
+    previous = id;
+    max_heap = std::max(max_heap, q.heap_size());
+  }
+  // At most one live event throughout; 1M tombstones must NOT pile up.
+  EXPECT_LE(max_heap, 128U);
+  EXPECT_EQ(q.size(), 1U);
+  // empty() and the heap agree: cancelling the survivor leaves a queue
+  // that also *pops* as empty, tombstones notwithstanding.
+  EXPECT_TRUE(q.cancel(previous));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.next_time().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.heap_size(), 0U);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
+  // Interleave enough cancels to force several compactions, then check
+  // the survivors still pop in exact (time, FIFO) order.
+  EventQueue q;
+  std::vector<EventId> victims;
+  std::vector<int> expected;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>((i * 37) % 1000);
+    const EventId id = q.schedule(at_s(t), [] {});
+    if (i % 10 == 0) {
+      expected.push_back(i);  // kept
+      (void)id;
+    } else {
+      victims.push_back(id);
+    }
+  }
+  for (const EventId id : victims) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), expected.size());
+  EXPECT_LE(q.heap_size(), std::max<std::size_t>(2 * q.size(), 64));
+  TimePoint last = TimePoint::zero();
+  std::size_t popped = 0;
+  while (auto e = q.pop()) {
+    EXPECT_GE(e->at, last);
+    last = e->at;
+    ++popped;
+  }
+  EXPECT_EQ(popped, expected.size());
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

@@ -1,13 +1,16 @@
 /// golden_runner — machine-checked regression harness over the scenario
 /// catalog.
 ///
-/// Replays every `core::ScenarioCatalog` entry across all four
-/// `core::Strategy` values through the `BatchRunner` pool (the canonical
-/// `catalog_sweep` grid: strategies × the entry's ζtargets × its budget ×
-/// seeds 1..2, 10 epochs) and diffs the aggregate JSON against the
-/// committed corpus under tests/golden/. Numbers are compared with a
-/// relative tolerance so a benign last-ulp wobble between compilers does
-/// not fail the build, while any real behaviour change does.
+/// Replays every `core::ScenarioCatalog` entry and diffs its JSON
+/// against the committed corpus under tests/golden/. Single-node entries
+/// run across all four `core::Strategy` values through the `BatchRunner`
+/// pool (the canonical `catalog_sweep` grid: strategies × the entry's
+/// ζtargets × its budget × seeds 1..2, 10 epochs); fleet entries run
+/// through the sharded `deploy::FleetEngine` (3 epochs, seed 1 — the
+/// output is shard-count-independent, so the same bytes come back at any
+/// --threads value). Numbers are compared with a relative tolerance so a
+/// benign last-ulp wobble between compilers does not fail the build,
+/// while any real behaviour change does.
 ///
 ///   golden_runner --dir tests/golden            # check (CI mode)
 ///   golden_runner --dir tests/golden --update   # bless current behaviour
@@ -32,6 +35,7 @@
 
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/scenario_catalog.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
 
 namespace {
 
@@ -40,6 +44,11 @@ using namespace snipr;
 // The corpus grid, pinned: changing these regenerates every golden file.
 constexpr std::size_t kGoldenSeeds = 2;
 constexpr std::size_t kGoldenEpochs = 10;
+// Fleet entries replay fewer epochs: a 1024-node fleet is ~100x a
+// single-node sweep per epoch, and three epochs already pin every
+// per-node stream.
+constexpr std::size_t kFleetGoldenEpochs = 3;
+constexpr std::uint64_t kFleetGoldenSeed = 1;
 constexpr double kDefaultRelTolerance = 1e-9;
 
 struct Options {
@@ -172,7 +181,18 @@ std::optional<std::string> read_file(const std::string& path) {
 }
 
 std::string golden_json(const core::CatalogEntry& entry,
-                        const core::BatchRunner& runner) {
+                        const core::BatchRunner& runner,
+                        std::size_t threads) {
+  if (entry.is_fleet()) {
+    deploy::FleetConfig config;
+    config.deployment = deploy::make_fleet_deployment_config(
+        entry.scenario, *entry.fleet, entry.phi_max_s, kFleetGoldenEpochs,
+        kFleetGoldenSeed);
+    config.shards = threads;
+    config.threads = threads;
+    return deploy::FleetEngine::to_json(
+        deploy::FleetEngine{}.run(entry.scenario, *entry.fleet, config));
+  }
   const core::SweepSpec sweep =
       core::catalog_sweep(entry, kGoldenSeeds, kGoldenEpochs);
   return core::BatchRunner::to_json(runner.run(core::expand_sweep(sweep)));
@@ -205,7 +225,7 @@ int main(int argc, char** argv) {
   std::size_t failures = 0;
   for (const core::CatalogEntry* entry : selected) {
     const std::string path = opt.dir + "/" + entry->name + ".json";
-    const std::string actual = golden_json(*entry, runner);
+    const std::string actual = golden_json(*entry, runner, opt.threads);
     if (opt.update) {
       if (!core::BatchRunner::write_json_file(actual, path.c_str())) {
         return 1;

@@ -13,6 +13,12 @@
 ///             [--threads N] [--json FILE] [--epochs N] [--warmup N]
 ///             [--deterministic]
 ///
+/// Fleet mode runs a whole multi-node deployment (a fleet catalog entry)
+/// through the sharded `deploy::FleetEngine`; results are identical for
+/// any --shards/--threads value:
+///   snipr_cli --fleet NAME [--shards N] [--threads N] [--epochs N]
+///             [--seed N] [--json FILE]
+///
 /// Environments come from the named scenario library
 /// (`core::ScenarioCatalog`); `--list-scenarios` prints it. Without
 /// `--scenario` the defaults reproduce the paper's road-side scenario:
@@ -29,12 +35,14 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/experiment.hpp"
 #include "snipr/core/scenario_catalog.hpp"
 #include "snipr/core/strategy.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
 
 namespace {
 
@@ -68,6 +76,9 @@ struct Options {
   std::size_t seeds{1};
   std::size_t threads{0};  // 0 = hardware concurrency
   std::string json_path;   // empty = stdout
+  // Fleet mode.
+  std::string fleet;       // fleet catalog entry name
+  std::size_t shards{0};   // 0 = one shard per hardware thread
 };
 
 void print_usage(const char* argv0) {
@@ -88,6 +99,12 @@ void print_usage(const char* argv0) {
       "  --seeds N                      seeds 1..N per grid point\n"
       "  --threads N                    worker threads (default: all cores)\n"
       "  --json FILE                    write JSON to FILE (default stdout)\n"
+      "fleet mode:\n"
+      "  --fleet NAME                   run a fleet catalog entry through\n"
+      "                                 the sharded FleetEngine\n"
+      "  --shards N                     simulator shards (default: one per\n"
+      "                                 hardware thread; never changes the\n"
+      "                                 results, only the wall clock)\n"
       "common:\n"
       "  --epochs N                     epochs to simulate (default 14)\n"
       "  --warmup N                     epochs excluded from averages\n"
@@ -188,6 +205,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.list_scenarios = true;
     } else if (arg == "--scenario") {
       if (!take_string(opt.scenario)) return false;
+    } else if (arg == "--fleet") {
+      if (!take_string(opt.fleet)) return false;
+    } else if (arg == "--shards") {
+      if (!take_size(opt.shards)) return false;
     } else if (arg == "--deterministic") {
       opt.deterministic = true;
     } else if (arg == "--mechanism") {
@@ -247,12 +268,66 @@ bool parse(int argc, char** argv, Options& opt) {
 }
 
 void print_scenarios(std::FILE* out) {
-  std::fprintf(out, "scenarios (--scenario NAME):\n");
+  std::fprintf(out, "scenarios (--scenario NAME, or --fleet NAME for the\n"
+                    "entries marked [fleet]):\n");
   for (const core::CatalogEntry& entry :
        core::ScenarioCatalog::instance().entries()) {
-    std::fprintf(out, "  %-22s %s\n", entry.name.c_str(),
+    std::fprintf(out, "  %-22s %s%s\n", entry.name.c_str(),
+                 entry.is_fleet() ? "[fleet] " : "",
                  entry.description.c_str());
   }
+}
+
+int run_fleet(const Options& opt) {
+  const core::CatalogEntry* entry =
+      core::ScenarioCatalog::instance().find(opt.fleet);
+  if (entry == nullptr || !entry->is_fleet()) {
+    std::fprintf(stderr, "%s '%s'; fleet entries:\n",
+                 entry == nullptr ? "unknown scenario"
+                                  : "not a fleet scenario",
+                 opt.fleet.c_str());
+    for (const core::CatalogEntry& e :
+         core::ScenarioCatalog::instance().entries()) {
+      if (e.is_fleet()) {
+        std::fprintf(stderr, "  %-22s %s\n", e.name.c_str(),
+                     e.description.c_str());
+      }
+    }
+    return 2;
+  }
+
+  deploy::FleetConfig config;
+  config.deployment = deploy::make_fleet_deployment_config(
+      entry->scenario, *entry->fleet, entry->phi_max_s, opt.epochs, opt.seed);
+  config.shards = opt.shards;
+  config.threads = opt.threads;
+  const deploy::DeploymentOutcome outcome =
+      deploy::FleetEngine{}.run(entry->scenario, *entry->fleet, config);
+
+  if (!opt.json_path.empty()) {
+    const std::string json = deploy::FleetEngine::to_json(outcome);
+    if (!core::BatchRunner::write_json_file(json, opt.json_path.c_str())) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu-node fleet outcome to %s\n",
+                 outcome.nodes.size(), opt.json_path.c_str());
+    return 0;
+  }
+
+  const std::string_view mechanism =
+      core::strategy_name(entry->fleet->strategy);
+  std::printf("fleet %s: %zu nodes x %zu epochs (%.*s per node)\n",
+              entry->name.c_str(), outcome.nodes.size(), opt.epochs,
+              static_cast<int>(mechanism.size()), mechanism.data());
+  std::printf("  fleet capacity   Σζ = %12.1f s/epoch\n",
+              outcome.total_zeta_s);
+  std::printf("  fleet overhead   ΣΦ = %12.1f s/epoch\n",
+              outcome.total_phi_s);
+  std::printf("  per-node ζ       mean %.2f s  stddev %.3f s  [%.2f, %.2f]\n",
+              outcome.mean_zeta_s, outcome.zeta_stddev_s, outcome.min_zeta_s,
+              outcome.max_zeta_s);
+  std::printf("  Jain fairness       = %8.4f\n", outcome.zeta_fairness);
+  return 0;
 }
 
 int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
@@ -334,6 +409,7 @@ int main(int argc, char** argv) {
     print_scenarios(stdout);
     return 0;
   }
+  if (!opt.fleet.empty()) return run_fleet(opt);
 
   core::RoadsideScenario scenario;
   std::string label{"roadside"};
@@ -344,6 +420,15 @@ int main(int argc, char** argv) {
     if (entry == nullptr) {
       std::fprintf(stderr, "unknown scenario '%s'\n", opt.scenario.c_str());
       print_scenarios(stderr);
+      return 2;
+    }
+    // A fleet entry's environment is its FleetSpec; running its
+    // placeholder per-node scenario here would silently report a
+    // single-node result under the fleet's name.
+    if (entry->is_fleet()) {
+      std::fprintf(stderr,
+                   "'%s' is a fleet scenario; run it with --fleet %s\n",
+                   opt.scenario.c_str(), opt.scenario.c_str());
       return 2;
     }
     scenario = entry->scenario;
