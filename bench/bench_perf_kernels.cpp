@@ -12,6 +12,8 @@
 #include "snipr/core/snip_rh.hpp"
 #include "snipr/model/optimizer.hpp"
 #include "snipr/sim/event_queue.hpp"
+#include "snipr/trace/one_format.hpp"
+#include "snipr/trace/synthetic.hpp"
 #include "snipr/trace/trace_io.hpp"
 
 namespace {
@@ -92,6 +94,38 @@ void BM_TraceRoundTrip(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_TraceRoundTrip);
+
+void BM_OneStreamingIngest(benchmark::State& state) {
+  // A multi-megabyte ONE connectivity report parsed through the
+  // streaming line-callback core. The exported peak_window counter is
+  // the importer's real memory high-water mark (open + pending merge
+  // contacts): it must track the number of concurrently-in-range peers,
+  // NOT the event count — a regression back to materialise-then-sort
+  // shows up here as peak_window == events.
+  const auto epochs = static_cast<std::size_t>(state.range(0));
+  trace::SyntheticTraceSpec spec;
+  spec.epochs = epochs;
+  spec.seed = 13;
+  std::ostringstream os;
+  trace::SyntheticTraceGenerator{spec}.write_one_report(os, "s0");
+  const std::string report = os.str();
+
+  trace::OneStreamStats last{};
+  for (auto _ : state) {
+    std::istringstream is{report};
+    std::size_t contacts = 0;
+    last = trace::stream_one_connectivity(
+        is, "s0", [&](const contact::Contact&) { ++contacts; });
+    benchmark::DoNotOptimize(contacts);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(report.size()) *
+                          state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(last.conn_events) *
+                          state.iterations());
+  state.counters["events"] = static_cast<double>(last.conn_events);
+  state.counters["peak_window"] = static_cast<double>(last.peak_window);
+}
+BENCHMARK(BM_OneStreamingIngest)->Arg(14)->Arg(140);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 #include "snipr/contact/process.hpp"
 #include "snipr/contact/profile.hpp"
 #include "snipr/contact/schedule.hpp"
+#include "snipr/contact/trace_replay.hpp"
 #include "snipr/core/rush_hour_mask.hpp"
 #include "snipr/model/epoch_model.hpp"
 #include "snipr/radio/link.hpp"
@@ -27,6 +28,18 @@ struct RoadsideScenario {
   double tcontact_s{2.0};
   model::SnipParams snip{};  // Ton = 20 ms
   radio::LinkParams link{};
+
+  /// Optional recorded workload. When set, make_schedule replays these
+  /// contacts — tiled with period = profile.epoch() so the trace loops
+  /// at its natural day boundary — instead of sampling the generative
+  /// profile; `profile` then only describes the slot layout and the
+  /// planners' view of the environment (typically estimated from the
+  /// same trace via trace::TraceSlotStats).
+  std::shared_ptr<const std::vector<contact::Contact>> replay{};
+  /// Per-contact arrival jitter (seconds) applied when replaying under
+  /// kNormalTenth; kNone replays the trace exactly. Models day-to-day
+  /// variation across trace repetitions.
+  double replay_jitter_s{0.0};
 
   /// Published sweep points.
   [[nodiscard]] static constexpr std::array<double, 6> zeta_targets_s() {
@@ -56,6 +69,17 @@ struct RoadsideScenario {
   [[nodiscard]] contact::ContactSchedule make_schedule(
       std::size_t epochs, contact::IntervalJitter jitter,
       sim::Rng& rng) const {
+    const sim::Duration horizon =
+        profile.epoch() * static_cast<std::int64_t>(epochs);
+    if (replay != nullptr) {
+      contact::TraceReplayConfig config;
+      config.period = profile.epoch();
+      config.jitter_stddev_s =
+          jitter == contact::IntervalJitter::kNone ? 0.0 : replay_jitter_s;
+      contact::TraceReplayProcess process{*replay, config};
+      return contact::ContactSchedule{
+          contact::materialize(process, horizon, rng)};
+    }
     std::unique_ptr<sim::Distribution> length;
     if (jitter == contact::IntervalJitter::kNone) {
       length = std::make_unique<sim::FixedDistribution>(tcontact_s);
@@ -65,8 +89,8 @@ struct RoadsideScenario {
     }
     contact::IntervalContactProcess process{profile, std::move(length),
                                             jitter};
-    return contact::ContactSchedule{contact::materialize(
-        process, profile.epoch() * static_cast<std::int64_t>(epochs), rng)};
+    return contact::ContactSchedule{
+        contact::materialize(process, horizon, rng)};
   }
 };
 

@@ -10,6 +10,7 @@
 #include "snipr/core/batch_runner.hpp"
 #include "snipr/core/scenario.hpp"
 #include "snipr/deploy/fleet.hpp"
+#include "snipr/trace/trace_catalog.hpp"
 
 /// \file scenario_catalog.hpp
 /// The named scenario library.
@@ -76,5 +77,17 @@ class ScenarioCatalog {
 /// the entry name. This is the grid the golden corpus pins down.
 [[nodiscard]] SweepSpec catalog_sweep(const CatalogEntry& entry,
                                       std::size_t seeds, std::size_t epochs);
+
+/// The one trace -> replay-environment rule, shared by the catalog's
+/// replay entries and `snipr_cli --trace`: estimate the arrival profile
+/// from `contacts` on the entry's slot grid, mark the top `rush_slots`
+/// busiest slots as rush hours, and attach the contacts for exact replay
+/// (tiled at the entry's epoch, with `replay_jitter_s` day-to-day jitter
+/// under the jittered environment). Throws std::invalid_argument on an
+/// empty contact list.
+[[nodiscard]] RoadsideScenario make_replay_scenario(
+    const trace::TraceEntry& entry,
+    std::shared_ptr<const std::vector<contact::Contact>> contacts,
+    std::size_t rush_slots, double replay_jitter_s);
 
 }  // namespace snipr::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "snipr/contact/process.hpp"
 #include "snipr/contact/profile.hpp"
@@ -37,6 +38,26 @@ struct FleetSpec {
   /// Probing mechanism every node runs, at this operating point.
   core::Strategy strategy{core::Strategy::kSnipRh};
   double zeta_target_s{16.0};
+
+  /// Trace-driven workload: when `trace` names a `trace::TraceCatalog`
+  /// entry, node i replays that trace instead of sampling the generative
+  /// vehicle flow — phase-rotated by i * trace_stagger_s within the
+  /// trace span (tiled at the trace entry's own epoch) and perturbed per
+  /// contact by trace_jitter_stddev_s from the node's own RNG stream. A
+  /// *heterogeneous* fleet: every node sees a different slice of one
+  /// recorded (or generated) workload. The geometry and speed fields
+  /// above are then ignored, but `flow_profile` still matters: its epoch
+  /// sets the simulation horizon and every node's scheduling slot grid,
+  /// so keep it on the same epoch the trace was recorded against.
+  std::string trace;
+  double trace_stagger_s{0.0};
+  double trace_jitter_stddev_s{0.0};
+  /// Resolution directory for a file-backed trace entry. Empty = the
+  /// runtime default ($SNIPR_TRACE_DATA_DIR, then the compiled-in
+  /// corpus dir); a catalog-pinned fleet must set
+  /// trace::TraceCatalog::compiled_data_dir() so an environment override
+  /// cannot swap the corpus behind a golden-pinned name.
+  std::string trace_data_dir;
 };
 
 }  // namespace snipr::deploy

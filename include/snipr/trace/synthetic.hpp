@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "snipr/contact/contact.hpp"
+#include "snipr/contact/process.hpp"
+#include "snipr/contact/profile.hpp"
+
+/// \file synthetic.hpp
+/// Deterministic, seeded generation of contact traces (and ONE-format
+/// connectivity reports) from any ArrivalProfile.
+///
+/// Real contact corpora are large and licensed; the generator gives us
+/// unlimited trace corpora without shipping files: every
+/// (profile, epochs, seed, drift) tuple is a reproducible "dataset" that
+/// can be written as a ONE report, re-imported through the production
+/// `read_one_connectivity` path, or replayed directly through
+/// `contact::TraceReplayProcess`. Seasonal drift rotates the profile a
+/// fixed number of slots per epoch, modelling the slowly shifting
+/// mobility patterns the adaptive learner has to track.
+
+namespace snipr::trace {
+
+struct SyntheticTraceSpec {
+  contact::ArrivalProfile profile{contact::ArrivalProfile::roadside()};
+  /// Epochs (days) of trace to generate.
+  std::size_t epochs{3};
+  /// RNG seed: the whole trace is a pure function of this spec.
+  std::uint64_t seed{1};
+  /// Arrival-interval jitter (kNone = the deterministic analysis flow).
+  contact::IntervalJitter jitter{contact::IntervalJitter::kNormalTenth};
+  /// Contact length: Normal(mean, stddev) truncated positive, or exactly
+  /// `mean` when stddev <= 0. Mean must be positive.
+  double tcontact_mean_s{2.0};
+  double tcontact_stddev_s{0.2};
+  /// Seasonal drift: the profile is rotated by `drift_slots_per_epoch * e`
+  /// slots in epoch e (+1 = every peak arrives one slot later each day).
+  std::int64_t drift_slots_per_epoch{0};
+};
+
+class SyntheticTraceGenerator {
+ public:
+  /// Throws std::invalid_argument on a non-positive contact length mean
+  /// or zero epochs.
+  explicit SyntheticTraceGenerator(SyntheticTraceSpec spec);
+
+  [[nodiscard]] const SyntheticTraceSpec& spec() const noexcept {
+    return spec_;
+  }
+
+  /// Materialise the trace: sorted, non-overlapping contacts spanning
+  /// `spec().epochs` epochs. Deterministic: same spec, same contacts.
+  [[nodiscard]] std::vector<contact::Contact> generate() const;
+
+  /// Write `generate()` as a ONE connectivity report for sensor `host`
+  /// (peers cycle m0..m6). The report round-trips exactly through
+  /// `read_one_connectivity(is, host)`.
+  void write_one_report(std::ostream& os, const std::string& host) const;
+
+  /// Write any contact list as a ONE report (the static core of the
+  /// member above, usable for arbitrary traces).
+  static void write_one_report(std::ostream& os, const std::string& host,
+                               const std::vector<contact::Contact>& contacts);
+
+ private:
+  SyntheticTraceSpec spec_;
+};
+
+/// `profile` with every slot's mean interval moved `shift_slots` slots
+/// later (negative = earlier); the epoch length is unchanged.
+[[nodiscard]] contact::ArrivalProfile rotate_profile(
+    const contact::ArrivalProfile& profile, std::int64_t shift_slots);
+
+}  // namespace snipr::trace

@@ -1,6 +1,7 @@
 #include "snipr/core/scenario_catalog.hpp"
 
 #include <array>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "snipr/trace/one_format.hpp"
 #include "snipr/trace/slot_stats.hpp"
+#include "snipr/trace/trace_catalog.hpp"
 
 namespace snipr::core {
 namespace {
@@ -90,20 +92,16 @@ RoadsideScenario sparse_rural_scenario() {
 
 /// Multi-peak urban arterial on a 48-slot grid: five separate peaks,
 /// exercising non-24 slot counts end to end. Shared by the single-node
-/// entry and the urban fleet entry.
+/// entry, the urban fleet entry, and — via trace::metro_profile(), the
+/// one definition of the flow — the synthetic-metro-drift trace the
+/// fleet-trace-metro entry replays. The mask is derived from the
+/// profile (its ten strictly-busiest slots), so the two cannot drift.
 RoadsideScenario multi_peak_urban_scenario() {
-  constexpr std::array<std::size_t, 10> kPeaks{14, 15, 18, 19, 24,
-                                               25, 34, 35, 38, 39};
-  std::vector<double> intervals(48, 1500.0);
-  std::vector<bool> bits(48, false);
-  for (const std::size_t slot : kPeaks) {
-    intervals[slot] = 360.0;
-    bits[slot] = true;
-  }
   RoadsideScenario sc;
-  sc.profile = contact::ArrivalProfile{sim::Duration::hours(24),
-                                       std::move(intervals)};
-  sc.rush_mask = RushHourMask{sim::Duration::hours(24), std::move(bits)};
+  sc.profile = trace::metro_profile();
+  sc.rush_mask =
+      RushHourMask::top_k(sc.profile.epoch(), sc.profile.slot_count(),
+                          sc.profile.slots_by_rate(), 10);
   return sc;
 }
 
@@ -254,11 +252,37 @@ std::vector<CatalogEntry> build_entries() {
       "profile estimated from a ONE connectivity trace, morning-only rush",
       one_trace_scenario(), {8.0, 24.0}));
 
+  // 13. The checked-in campus-3day ONE corpus replayed end to end: the
+  // trace drives the channel through contact::TraceReplayProcess (24 h
+  // tiling, 5 s day-to-day jitter), the profile and mask estimated from
+  // the same trace drive the planners. The corpus is resolved against
+  // the compiled-in data dir only ($SNIPR_TRACE_DATA_DIR must not swap
+  // the corpus behind a golden-pinned name); if the file is gone (a
+  // relocated binary), the entry is skipped with a warning rather than
+  // making the whole catalog — and every tool built on it — unusable.
+  try {
+    const trace::TraceEntry& campus =
+        trace::TraceCatalog::instance().at("campus-3day");
+    auto contacts = std::make_shared<const std::vector<contact::Contact>>(
+        trace::TraceCatalog::load(campus,
+                                  trace::TraceCatalog::compiled_data_dir()));
+    entries.push_back(make_entry(
+        "trace-campus-replay",
+        "checked-in campus-3day ONE corpus replayed through the simulator",
+        make_replay_scenario(campus, std::move(contacts), /*rush_slots=*/4,
+                             /*replay_jitter_s=*/5.0),
+        {8.0, 24.0}));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "snipr: skipping scenario 'trace-campus-replay': %s\n",
+                 e.what());
+  }
+
   // --- Fleet entries (deploy::FleetEngine; snipr_cli --fleet). The
   // scenario field holds the per-node environment; the FleetSpec the road
   // geometry and the shared vehicle flow.
 
-  // 13. The paper's Fig. 1 network at deployment scale: 1024 road-side
+  // 14. The paper's Fig. 1 network at deployment scale: 1024 road-side
   // nodes spread along 300 km of highway, one diurnal commuter flow.
   {
     auto fleet = std::make_shared<deploy::FleetSpec>();
@@ -278,7 +302,7 @@ std::vector<CatalogEntry> build_entries() {
     entries.push_back(std::move(entry));
   }
 
-  // 14. Dense urban arterial grid: 256 closely spaced nodes under the
+  // 15. Dense urban arterial grid: 256 closely spaced nodes under the
   // 48-slot multi-peak flow, every node learning its mask online — the
   // adaptive learner exercised at fleet scale.
   {
@@ -301,7 +325,7 @@ std::vector<CatalogEntry> build_entries() {
     entries.push_back(std::move(entry));
   }
 
-  // 15. Long rural collection route: 96 nodes a kilometre apart, slow
+  // 16. Long rural collection route: 96 nodes a kilometre apart, slow
   // sparse traffic with lingering contacts, planned SNIP-OPT duties.
   {
     RoadsideScenario sc = sparse_rural_scenario();
@@ -319,6 +343,36 @@ std::vector<CatalogEntry> build_entries() {
         "fleet-rural-sparse",
         "96-node rural route, 1 km spacing, sparse slow flow, SNIP-OPT",
         std::move(sc), {8.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 17. Heterogeneous trace-driven fleet: 128 nodes each replaying a
+  // different slice of the generator-backed drifting metro trace
+  // (phase-rotated 270 s per node, 20 s per-contact jitter from each
+  // node's own stream) — no two nodes see the same contact sequence,
+  // unlike the shared-flow fleets above.
+  {
+    RoadsideScenario sc = multi_peak_urban_scenario();
+    auto fleet = std::make_shared<deploy::FleetSpec>();
+    fleet->nodes = 128;
+    fleet->flow_profile = sc.profile;  // tiling period / epoch source
+    fleet->strategy = Strategy::kAdaptive;
+    fleet->zeta_target_s = 16.0;
+    fleet->trace = "synthetic-metro-drift";
+    fleet->trace_stagger_s = 270.0;
+    fleet->trace_jitter_stddev_s = 20.0;
+    // Pinned entries always resolve file-backed traces against the
+    // compiled-in corpus (a no-op for this generator-backed trace, but
+    // the template every future catalog fleet must follow): an ad-hoc
+    // $SNIPR_TRACE_DATA_DIR must never swap the corpus behind a
+    // golden-pinned name.
+    fleet->trace_data_dir = trace::TraceCatalog::compiled_data_dir();
+    CatalogEntry entry = make_entry(
+        "fleet-trace-metro",
+        "128 nodes, each replaying its own slice of the drifting metro "
+        "trace",
+        std::move(sc), {16.0});
     entry.fleet = std::move(fleet);
     entries.push_back(std::move(entry));
   }
@@ -359,6 +413,27 @@ std::vector<std::string> ScenarioCatalog::names() const {
   out.reserve(entries_.size());
   for (const CatalogEntry& entry : entries_) out.push_back(entry.name);
   return out;
+}
+
+RoadsideScenario make_replay_scenario(
+    const trace::TraceEntry& entry,
+    std::shared_ptr<const std::vector<contact::Contact>> contacts,
+    std::size_t rush_slots, double replay_jitter_s) {
+  if (contacts == nullptr || contacts->empty()) {
+    throw std::invalid_argument("make_replay_scenario: trace '" + entry.name +
+                                "' holds no contacts");
+  }
+  const contact::ArrivalProfile layout = contact::ArrivalProfile::uniform(
+      entry.epoch, entry.slots,
+      entry.epoch.to_seconds() / static_cast<double>(entry.slots));
+  const trace::TraceSlotStats stats{*contacts, layout};
+  RoadsideScenario sc;
+  sc.profile = stats.estimate_profile();
+  sc.rush_mask = RushHourMask::top_k(entry.epoch, entry.slots,
+                                     stats.slots_by_count(), rush_slots);
+  sc.replay = std::move(contacts);
+  sc.replay_jitter_s = replay_jitter_s;
+  return sc;
 }
 
 SweepSpec catalog_sweep(const CatalogEntry& entry, std::size_t seeds,

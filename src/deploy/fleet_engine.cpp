@@ -4,12 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "snipr/contact/trace_replay.hpp"
 #include "snipr/core/json_writer.hpp"
 #include "snipr/core/thread_pool.hpp"
 #include "snipr/deploy/road_contacts.hpp"
 #include "snipr/node/mobile_node.hpp"
 #include "snipr/radio/channel.hpp"
 #include "snipr/sim/simulator.hpp"
+#include "snipr/trace/trace_catalog.hpp"
 
 namespace snipr::deploy {
 namespace {
@@ -59,6 +61,35 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
     out[i] = summarize_node(i, *w.sensor, std::string{w.scheduler->name()},
                             w.total_contacts);
   }
+}
+
+/// Heterogeneous trace workload: node i replays the catalog trace,
+/// phase-rotated by i * stagger within the trace span and jittered from
+/// its own RNG stream. Streams are forked from `root` in node order
+/// before any partitioning, so the schedules — like everything else —
+/// are independent of the shard and thread counts.
+std::vector<contact::ContactSchedule> build_trace_schedules(
+    const FleetSpec& spec, sim::Duration horizon, sim::Rng& root) {
+  const trace::TraceEntry& entry =
+      trace::TraceCatalog::instance().at(spec.trace);
+  const std::vector<contact::Contact> base =
+      trace::TraceCatalog::load(entry, spec.trace_data_dir);
+  // Tile at the trace's own recorded epoch — the flow profile's epoch
+  // governs the horizon and the nodes' slot grids, not the replay.
+  const sim::Duration period = entry.epoch;
+  std::vector<contact::ContactSchedule> schedules;
+  schedules.reserve(spec.nodes);
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    contact::TraceReplayConfig config;
+    config.period = period;
+    config.offset = sim::Duration::seconds(spec.trace_stagger_s *
+                                           static_cast<double>(i));
+    config.jitter_stddev_s = spec.trace_jitter_stddev_s;
+    contact::TraceReplayProcess process{base, config};
+    sim::Rng rng = root.fork();
+    schedules.emplace_back(contact::materialize(process, horizon, rng));
+  }
+  return schedules;
 }
 
 }  // namespace
@@ -116,16 +147,30 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
   if (spec.nodes == 0) {
     throw std::invalid_argument("FleetEngine: spec needs at least one node");
   }
+
+  // The determinism contract, shared by both workload kinds: reserve the
+  // per-node forks first (the schedules overload will fork the identical
+  // streams from the same seed), so every auxiliary stream drawn from
+  // the advanced root — the shared vehicle flow, or the per-node trace
+  // replay streams — overlaps no node stream.
+  sim::Rng root{config.deployment.seed};
+  for (std::size_t i = 0; i < spec.nodes; ++i) (void)root.fork();
+  const sim::Duration horizon =
+      spec.flow_profile.epoch() *
+      static_cast<std::int64_t>(config.deployment.epochs);
+  const double phi_max_s = config.deployment.node.budget_limit.to_seconds();
+  const SchedulerFactory factory = [&](std::size_t) {
+    return core::make_scheduler(scenario, spec.strategy, spec.zeta_target_s,
+                                phi_max_s);
+  };
+
+  if (!spec.trace.empty()) {
+    return run(build_trace_schedules(spec, horizon, root), factory, config);
+  }
   if (spec.spacing_m <= 0.0 || spec.range_m <= 0.0) {
     throw std::invalid_argument(
         "FleetEngine: spacing and range must be positive");
   }
-
-  // Reserve the per-node forks first (the schedules overload will fork
-  // the identical streams from the same seed), then draw the shared
-  // vehicle flow from the advanced root so it overlaps no node stream.
-  sim::Rng root{config.deployment.seed};
-  for (std::size_t i = 0; i < spec.nodes; ++i) (void)root.fork();
 
   VehicleFlow flow;
   flow.profile = spec.flow_profile;
@@ -137,9 +182,6 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
     flow.speed_mps =
         std::make_unique<sim::FixedDistribution>(spec.speed_mean_mps);
   }
-  const sim::Duration horizon =
-      spec.flow_profile.epoch() *
-      static_cast<std::int64_t>(config.deployment.epochs);
   const std::vector<VehicleEntry> vehicles =
       materialize_vehicles(flow, horizon, root);
 
@@ -151,13 +193,6 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
   }
   std::vector<contact::ContactSchedule> schedules =
       build_road_schedules(positions, spec.range_m, vehicles);
-
-  const double phi_max_s =
-      config.deployment.node.budget_limit.to_seconds();
-  const SchedulerFactory factory = [&](std::size_t) {
-    return core::make_scheduler(scenario, spec.strategy, spec.zeta_target_s,
-                                phi_max_s);
-  };
   return run(std::move(schedules), factory, config);
 }
 

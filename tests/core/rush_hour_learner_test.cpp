@@ -42,6 +42,81 @@ TEST(RushHourLearner, RecoversGroundTruthMask) {
   EXPECT_EQ(mask.rush_slot_count(), 4U);
 }
 
+TEST(RushHourLearner, EffortModeMaskInvariantUnderUniformEffortScaling) {
+  // With a zero effort prior the score is a pure probes-per-second rate:
+  // multiplying every recorded effort by the same constant rescales all
+  // rates identically, so the ranking — and the mask — cannot move. The
+  // learner's verdict must not depend on the *unit* effort is recorded
+  // in (seconds vs milliseconds of radio-on time).
+  const double scales[] = {1.0, 10.0, 1000.0, 0.001};
+  std::vector<RushHourMask> masks;
+  std::vector<std::vector<contact::SlotIndex>> orders;
+  for (const double k : scales) {
+    RushHourLearner learner{Duration::hours(24), 24, 4,
+                            /*epoch_weight=*/0.3, /*effort_prior_s=*/0.0};
+    for (int day = 0; day < 3; ++day) {
+      // Non-uniform effort across slots (a mask in force): rates, not raw
+      // counts, decide — slot 12 gets many probes only because it gets
+      // far more effort.
+      learner.record_effort(at_h(day * 24.0 + 7.5), Duration::seconds(4.0 * k));
+      learner.record_probe(at_h(day * 24.0 + 7.5));
+      learner.record_probe(at_h(day * 24.0 + 7.5));
+      learner.record_effort(at_h(day * 24.0 + 12.5),
+                            Duration::seconds(40.0 * k));
+      for (int i = 0; i < 8; ++i) {
+        learner.record_probe(at_h(day * 24.0 + 12.5));
+      }
+      learner.record_effort(at_h(day * 24.0 + 17.5),
+                            Duration::seconds(2.0 * k));
+      learner.record_probe(at_h(day * 24.0 + 17.5));
+      learner.record_effort(at_h(day * 24.0 + 3.5), Duration::seconds(8.0 * k));
+      learner.record_probe(at_h(day * 24.0 + 3.5));
+      learner.finish_epoch();
+    }
+    masks.push_back(learner.mask());
+    orders.push_back(learner.slots_by_score());
+  }
+  for (std::size_t i = 1; i < masks.size(); ++i) {
+    EXPECT_EQ(orders[i], orders[0]) << "scale " << scales[i];
+    for (std::size_t s = 0; s < 24; ++s) {
+      EXPECT_EQ(masks[i].is_rush_slot(s), masks[0].is_rush_slot(s))
+          << "scale " << scales[i] << " slot " << s;
+    }
+  }
+  // And the ranking is the rate ranking: 17 (0.5/s) > 7 (0.5/s, later
+  // index) is a tie broken by index; both beat 12 (0.2/s) and 3 (0.125/s).
+  EXPECT_EQ(orders[0][0], 7U);
+  EXPECT_EQ(orders[0][1], 17U);
+  EXPECT_EQ(orders[0][2], 12U);
+}
+
+TEST(RushHourLearner, EffortModeWithPriorInvariantUnderUniformEffort) {
+  // With the default damping prior, scale invariance still holds whenever
+  // effort is spread uniformly across the probed slots (the pure SNIP-AT
+  // learning phase): every score is then the same monotone transform of
+  // its count, so the ordering equals the count ordering at any scale.
+  std::vector<std::vector<contact::SlotIndex>> orders;
+  for (const double k : {1.0, 50.0}) {
+    RushHourLearner learner = make_learner();
+    for (int day = 0; day < 2; ++day) {
+      for (int hour = 0; hour < 24; ++hour) {
+        learner.record_effort(at_h(day * 24.0 + hour + 0.5),
+                              Duration::seconds(10.0 * k));
+      }
+      feed_epoch(learner, day,
+                 {{7.5, 12}, {8.5, 12}, {17.5, 12}, {18.5, 12}, {3.5, 2}});
+    }
+    orders.push_back(learner.slots_by_score());
+  }
+  EXPECT_EQ(orders[0], orders[1]);
+  RushHourLearner count_mode = make_learner();
+  for (int day = 0; day < 2; ++day) {
+    feed_epoch(count_mode, day,
+               {{7.5, 12}, {8.5, 12}, {17.5, 12}, {18.5, 12}, {3.5, 2}});
+  }
+  EXPECT_EQ(orders[0], count_mode.slots_by_score());
+}
+
 TEST(RushHourLearner, OrderOnlyMattersNotMagnitude) {
   // The paper: "a sensor node only needs to learn the order of these
   // time-slots' contact capacity". Even two probes vs one suffice.

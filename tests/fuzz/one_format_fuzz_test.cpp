@@ -1,0 +1,252 @@
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snipr/sim/rng.hpp"
+#include "snipr/trace/one_format.hpp"
+#include "snipr/trace/synthetic.hpp"
+
+/// Fuzz-style robustness harness for the ONE connectivity importer
+/// (registered under `ctest -L fuzz`): a seeded corruptor mutates valid
+/// reports — byte flips/inserts/deletes, field drops, line reordering
+/// and duplication, truncation, token garbling — and every mutant must
+/// either parse to a valid contact list (sorted, positive lengths, no
+/// overlaps) or throw std::runtime_error naming a line. Never a crash,
+/// a hang, or silently inconsistent output.
+///
+/// CI runs this twice: with the default fixed seed in the main matrix
+/// (reproducible), and in a separate non-blocking job with a randomized
+/// seed and a time box (SNIPR_FUZZ_SEED / SNIPR_FUZZ_TIME_S). A failing
+/// mutant is written to SNIPR_FUZZ_ARTIFACT_DIR (default: cwd) so the
+/// job can upload it as a corpus artifact.
+
+namespace snipr::trace {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("SNIPR_FUZZ_SEED");
+      env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xC0FFEEULL;
+}
+
+double fuzz_time_box_s() {
+  if (const char* env = std::getenv("SNIPR_FUZZ_TIME_S");
+      env != nullptr && env[0] != '\0') {
+    return std::strtod(env, nullptr);
+  }
+  return 0.0;  // fixed iteration count
+}
+
+std::string base_report() {
+  SyntheticTraceSpec spec;
+  spec.epochs = 2;
+  spec.seed = 3;
+  std::ostringstream os;
+  SyntheticTraceGenerator{spec}.write_one_report(os, "s0");
+  return os.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Apply one random structure- or byte-level corruption.
+std::string mutate_once(std::string text, sim::Rng& rng) {
+  if (text.empty()) return text;
+  switch (rng.uniform_int(8)) {
+    case 0: {  // flip a byte
+      text[rng.uniform_int(text.size())] =
+          static_cast<char>(rng.uniform_int(256));
+      return text;
+    }
+    case 1: {  // delete a byte
+      text.erase(rng.uniform_int(text.size()), 1);
+      return text;
+    }
+    case 2: {  // insert a byte
+      text.insert(text.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.uniform_int(text.size() + 1)),
+                  static_cast<char>(rng.uniform_int(256)));
+      return text;
+    }
+    case 3: {  // drop one whitespace-separated field from a line
+      std::vector<std::string> lines = split_lines(text);
+      if (lines.empty()) return text;
+      std::string& line = lines[rng.uniform_int(lines.size())];
+      std::istringstream fields{line};
+      std::vector<std::string> tokens;
+      std::string token;
+      while (fields >> token) tokens.push_back(token);
+      if (!tokens.empty()) {
+        tokens.erase(tokens.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         rng.uniform_int(tokens.size())));
+        line.clear();
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+          if (i > 0) line += ' ';
+          line += tokens[i];
+        }
+      }
+      return join_lines(lines);
+    }
+    case 4: {  // swap two lines (breaks monotonicity / up-down pairing)
+      std::vector<std::string> lines = split_lines(text);
+      if (lines.size() < 2) return text;
+      std::swap(lines[rng.uniform_int(lines.size())],
+                lines[rng.uniform_int(lines.size())]);
+      return join_lines(lines);
+    }
+    case 5: {  // truncate mid-stream
+      text.resize(rng.uniform_int(text.size()));
+      return text;
+    }
+    case 6: {  // duplicate a line (double down, re-up, replayed event)
+      std::vector<std::string> lines = split_lines(text);
+      if (lines.empty()) return text;
+      const std::size_t at = rng.uniform_int(lines.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                   lines[at]);
+      return join_lines(lines);
+    }
+    default: {  // garble one token with adversarial replacements
+      static const char* kGarbage[] = {"NaN",  "inf",    "1e999", "-42.5",
+                                       "up",   "down",   "CONN",  "s0",
+                                       "0x10", "999999999999999999999"};
+      std::vector<std::string> lines = split_lines(text);
+      if (lines.empty()) return text;
+      std::string& line = lines[rng.uniform_int(lines.size())];
+      std::istringstream fields{line};
+      std::vector<std::string> tokens;
+      std::string token;
+      while (fields >> token) tokens.push_back(token);
+      if (!tokens.empty()) {
+        tokens[rng.uniform_int(tokens.size())] =
+            kGarbage[rng.uniform_int(std::size(kGarbage))];
+        line.clear();
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+          if (i > 0) line += ' ';
+          line += tokens[i];
+        }
+      }
+      return join_lines(lines);
+    }
+  }
+}
+
+/// A successful parse must uphold the importer's output contract.
+::testing::AssertionResult valid_contacts(
+    const std::vector<contact::Contact>& contacts) {
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    if (!(contacts[i].length > sim::Duration::zero())) {
+      return ::testing::AssertionFailure()
+             << "contact " << i << " has non-positive length";
+    }
+    if (i > 0 && contacts[i].arrival < contacts[i - 1].departure()) {
+      return ::testing::AssertionFailure()
+             << "contacts " << i - 1 << " and " << i
+             << " overlap or are unsorted";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::string save_failing_corpus(const std::string& corpus,
+                                std::uint64_t seed, std::size_t iteration) {
+  const char* dir = std::getenv("SNIPR_FUZZ_ARTIFACT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0' ? dir : ".";
+  path += "/fuzz_failure_seed" + std::to_string(seed) + "_iter" +
+          std::to_string(iteration) + ".txt";
+  std::ofstream os{path, std::ios::binary};
+  os << corpus;
+  return path;
+}
+
+TEST(OneFormatFuzz, CorruptedReportsNeverCrashOrEmitInvalidContacts) {
+  const std::uint64_t seed = fuzz_seed();
+  const double time_box_s = fuzz_time_box_s();
+  const std::size_t fixed_iterations = 300;
+  const std::string base = base_report();
+  sim::Rng rng{seed};
+  const auto start = std::chrono::steady_clock::now();
+
+  std::size_t iteration = 0;
+  std::size_t parsed_ok = 0;
+  for (;; ++iteration) {
+    if (time_box_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= time_box_s) break;
+    } else if (iteration >= fixed_iterations) {
+      break;
+    }
+    std::string corpus = base;
+    const std::uint64_t mutations = 1 + rng.uniform_int(6);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      corpus = mutate_once(std::move(corpus), rng);
+    }
+    std::istringstream is{corpus};
+    try {
+      const std::vector<contact::Contact> contacts =
+          read_one_connectivity(is, "s0");
+      const auto verdict = valid_contacts(contacts);
+      if (!verdict) {
+        ADD_FAILURE() << verdict.message() << "\nseed " << seed
+                      << " iteration " << iteration << "; corpus saved to "
+                      << save_failing_corpus(corpus, seed, iteration);
+        return;
+      }
+      ++parsed_ok;
+    } catch (const std::runtime_error& e) {
+      // The documented failure mode: a line-numbered diagnostic.
+      if (std::string{e.what()}.find("line ") == std::string::npos) {
+        ADD_FAILURE() << "error without a line number: '" << e.what()
+                      << "'\nseed " << seed << " iteration " << iteration
+                      << "; corpus saved to "
+                      << save_failing_corpus(corpus, seed, iteration);
+        return;
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "unexpected exception type: '" << e.what()
+                    << "'\nseed " << seed << " iteration " << iteration
+                    << "; corpus saved to "
+                    << save_failing_corpus(corpus, seed, iteration);
+      return;
+    }
+  }
+  // The corruptor must not be so aggressive that the success path goes
+  // untested: some mutants (comment edits, unrelated-host lines, line
+  // duplication) still parse.
+  RecordProperty("iterations", static_cast<int>(iteration));
+  RecordProperty("parsed_ok", static_cast<int>(parsed_ok));
+  if (time_box_s == 0.0) EXPECT_GT(parsed_ok, 0U);
+}
+
+TEST(OneFormatFuzz, UncorruptedBaseReportParses) {
+  std::istringstream is{base_report()};
+  const auto contacts = read_one_connectivity(is, "s0");
+  EXPECT_GT(contacts.size(), 100U);
+  EXPECT_TRUE(valid_contacts(contacts));
+}
+
+}  // namespace
+}  // namespace snipr::trace

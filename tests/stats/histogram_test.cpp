@@ -77,6 +77,55 @@ TEST(Histogram, ModeOfEmptyThrows) {
   EXPECT_THROW((void)h.mode_bin(), std::logic_error);
 }
 
+TEST(Histogram, SampleExactlyAtHiIsOverflowNotLastBin) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(10.0);  // == hi: [lo, hi) excludes it
+  EXPECT_DOUBLE_EQ(h.count(9), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  h.add(9.9999999);  // just inside stays in the last bin
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(Histogram, ModeBinTieGoesToTheLowestIndex) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(3.5);  // bin 3 first, so a naive "last max wins" would pick it
+  h.add(1.5);  // bin 1, equal count
+  EXPECT_EQ(h.mode_bin(), 1U);
+  h.add(1.5);  // bin 1 pulls ahead: no tie left
+  EXPECT_EQ(h.mode_bin(), 1U);
+  h.add(3.5);
+  h.add(3.5);  // bin 3 pulls ahead
+  EXPECT_EQ(h.mode_bin(), 3U);
+}
+
+TEST(Histogram, ResetClearsUnderflowAndOverflow) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-1.0);
+  h.add(5.0);
+  ASSERT_DOUBLE_EQ(h.underflow(), 1.0);
+  ASSERT_DOUBLE_EQ(h.overflow(), 1.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, ZeroWeightAddsChangeNothing) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5, 0.0);
+  h.add(-1.0, 0.0);
+  h.add(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  // A histogram holding only zero-weight samples is still empty: mode is
+  // undefined, exactly as if add() had never been called.
+  EXPECT_THROW((void)h.mode_bin(), std::logic_error);
+}
+
 TEST(Histogram, RenderContainsOneRowPerBin) {
   Histogram h{0.0, 2.0, 2};
   h.add(0.5);

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <optional>
@@ -198,6 +199,24 @@ std::string golden_json(const core::CatalogEntry& entry,
   return core::BatchRunner::to_json(runner.run(core::expand_sweep(sweep)));
 }
 
+/// Golden files with no catalog entry behind them. A scenario silently
+/// vanishing from the catalog (an entry whose construction was skipped,
+/// a renamed entry) would otherwise shrink the regression corpus without
+/// failing anything: the runner only replays entries that exist.
+std::vector<std::string> orphaned_golden_files(const std::string& dir) {
+  std::vector<std::string> orphans;
+  std::error_code ec;
+  for (const auto& file : std::filesystem::directory_iterator(dir, ec)) {
+    if (file.path().extension() != ".json") continue;
+    const std::string name = file.path().stem().string();
+    if (core::ScenarioCatalog::instance().find(name) == nullptr) {
+      orphans.push_back(name);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end());
+  return orphans;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,14 +267,45 @@ int main(int argc, char** argv) {
                   path.c_str());
     }
   }
-  if (opt.update) return 0;
+  if (opt.update) {
+    // --update's contract is corpus == catalog: also remove goldens whose
+    // entry no longer exists (renamed or retired scenarios), or the very
+    // next check run would fail on the orphan with no tool to fix it.
+    if (opt.scenario.empty()) {
+      for (const std::string& orphan : orphaned_golden_files(opt.dir)) {
+        const std::string path = opt.dir + "/" + orphan + ".json";
+        std::error_code ec;
+        if (std::filesystem::remove(path, ec) && !ec) {
+          std::printf("removed %s (no catalog entry)\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot remove orphaned %s\n", path.c_str());
+          return 1;
+        }
+      }
+    }
+    return 0;
+  }
+  std::size_t orphans = 0;
+  if (opt.scenario.empty()) {
+    for (const std::string& orphan : orphaned_golden_files(opt.dir)) {
+      std::printf(
+          "FAIL %-24s golden file has no catalog entry (renamed or "
+          "silently skipped scenario?)\n",
+          orphan.c_str());
+      ++orphans;
+    }
+  }
   if (failures > 0) {
     std::printf("%zu of %zu scenarios diverged from the golden corpus\n",
                 failures, selected.size());
     std::printf("if the behaviour change is intentional, regenerate with:\n"
                 "  golden_runner --dir %s --update\n", opt.dir.c_str());
-    return 1;
   }
+  if (orphans > 0) {
+    std::printf("%zu orphaned golden file(s): delete them or restore their "
+                "catalog entries\n", orphans);
+  }
+  if (failures + orphans > 0) return 1;
   std::printf("all %zu scenarios match the golden corpus\n", selected.size());
   return 0;
 }

@@ -19,6 +19,15 @@
 ///   snipr_cli --fleet NAME [--shards N] [--threads N] [--epochs N]
 ///             [--seed N] [--json FILE]
 ///
+/// Trace mode replays a named `trace::TraceCatalog` workload (a
+/// checked-in ONE corpus or a generator recipe) through the simulator:
+/// the trace drives the channel via `contact::TraceReplayProcess` while
+/// the planners see the profile estimated from it. Composes with the
+/// single-run flags and with --batch:
+///   snipr_cli --trace NAME [--trace-dir DIR] [--mechanism ...]
+///             [--target S] [--budget S] [--epochs N] [--seed N]
+///   snipr_cli --list-traces
+///
 /// Environments come from the named scenario library
 /// (`core::ScenarioCatalog`); `--list-scenarios` prints it. Without
 /// `--scenario` the defaults reproduce the paper's road-side scenario:
@@ -30,10 +39,12 @@
 ///   ./snipr_cli --batch --scenario night-shift --mechanisms at,rh
 ///       --targets 16,24,32 --seeds 5
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +54,7 @@
 #include "snipr/core/scenario_catalog.hpp"
 #include "snipr/core/strategy.hpp"
 #include "snipr/deploy/fleet_engine.hpp"
+#include "snipr/trace/trace_catalog.hpp"
 
 namespace {
 
@@ -79,6 +91,13 @@ struct Options {
   // Fleet mode.
   std::string fleet;       // fleet catalog entry name
   std::size_t shards{0};   // 0 = one shard per hardware thread
+  // Trace mode.
+  std::string trace;       // trace catalog entry name
+  std::string trace_dir;   // data dir override for file-backed entries
+  bool list_traces{false};
+  // Day-to-day replay jitter: non-zero by default so seeds (and seed
+  // sweeps in --batch) actually vary; 0 replays the trace exactly.
+  double replay_jitter_s{5.0};
 };
 
 void print_usage(const char* argv0) {
@@ -105,6 +124,14 @@ void print_usage(const char* argv0) {
       "  --shards N                     simulator shards (default: one per\n"
       "                                 hardware thread; never changes the\n"
       "                                 results, only the wall clock)\n"
+      "trace mode:\n"
+      "  --trace NAME                   replay a trace catalog workload\n"
+      "                                 (composes with --batch)\n"
+      "  --trace-dir DIR                data dir for checked-in corpora\n"
+      "  --replay-jitter S              per-contact day-to-day jitter\n"
+      "                                 stddev (default 5; 0 = exact\n"
+      "                                 replay, all seeds identical)\n"
+      "  --list-traces                  print the trace catalog and exit\n"
       "common:\n"
       "  --epochs N                     epochs to simulate (default 14)\n"
       "  --warmup N                     epochs excluded from averages\n"
@@ -207,6 +234,18 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!take_string(opt.scenario)) return false;
     } else if (arg == "--fleet") {
       if (!take_string(opt.fleet)) return false;
+    } else if (arg == "--trace") {
+      if (!take_string(opt.trace)) return false;
+    } else if (arg == "--trace-dir") {
+      if (!take_string(opt.trace_dir)) return false;
+    } else if (arg == "--replay-jitter") {
+      if (!take_double(opt.replay_jitter_s)) return false;
+      if (opt.replay_jitter_s < 0.0) {
+        std::fprintf(stderr, "--replay-jitter: must be >= 0\n");
+        return false;
+      }
+    } else if (arg == "--list-traces") {
+      opt.list_traces = true;
     } else if (arg == "--shards") {
       if (!take_size(opt.shards)) return false;
     } else if (arg == "--deterministic") {
@@ -278,6 +317,48 @@ void print_scenarios(std::FILE* out) {
   }
 }
 
+void print_traces(std::FILE* out) {
+  std::fprintf(out,
+               "traces (--trace NAME; file-backed entries resolve against\n"
+               "--trace-dir, $SNIPR_TRACE_DATA_DIR, or %s):\n",
+               trace::TraceCatalog::default_data_dir().c_str());
+  for (const trace::TraceEntry& entry :
+       trace::TraceCatalog::instance().entries()) {
+    const bool from_file = entry.source == trace::TraceSource::kFile;
+    std::fprintf(out, "  %-24s %s%s\n", entry.name.c_str(),
+                 from_file ? "[file] " : "[generator] ",
+                 entry.description.c_str());
+  }
+}
+
+/// Resolve --trace into a replay scenario through the one shared
+/// trace-to-environment rule (`core::make_replay_scenario`): the top
+/// slots/6 busiest slots become the mask, and the replay carries
+/// --replay-jitter of day-to-day variation (so different seeds differ).
+int build_trace_scenario(const Options& opt, core::RoadsideScenario& scenario,
+                         std::string& label) {
+  const trace::TraceEntry* entry =
+      trace::TraceCatalog::instance().find(opt.trace);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown trace '%s'\n", opt.trace.c_str());
+    print_traces(stderr);
+    return 2;
+  }
+  try {
+    auto contacts = std::make_shared<const std::vector<contact::Contact>>(
+        trace::TraceCatalog::load(*entry, opt.trace_dir));
+    scenario = core::make_replay_scenario(
+        *entry, std::move(contacts),
+        std::max<std::size_t>(1, entry->slots / 6), opt.replay_jitter_s);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot load trace '%s': %s\n", entry->name.c_str(),
+                 e.what());
+    return 1;
+  }
+  label = "trace:" + entry->name;
+  return 0;
+}
+
 int run_fleet(const Options& opt) {
   const core::CatalogEntry* entry =
       core::ScenarioCatalog::instance().find(opt.fleet);
@@ -331,7 +412,8 @@ int run_fleet(const Options& opt) {
 }
 
 int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
-              const std::string& label, const core::CatalogEntry* entry) {
+              const std::string& label, const core::CatalogEntry* entry,
+              double default_budget_s) {
   core::SweepSpec sweep;
   sweep.label = label;
   sweep.scenario = scenario;
@@ -349,14 +431,12 @@ int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
     return 2;
   }
   // Grid precedence: the plural flags win, then the singular single-run
-  // flags (a one-point grid), then the named scenario's own budget and
-  // representative targets (the golden-corpus grid).
+  // flags (a one-point grid), then the environment's own default budget
+  // (a catalog entry's pinned budget, or the trace-derived one) and a
+  // named entry's representative targets (the golden-corpus grid) — so
+  // `--trace X` and `--trace X --batch` run under the same budget.
   if (!opt.budgets_set) {
-    if (opt.budget_set) {
-      sweep.phi_maxes_s = {opt.budget_s};
-    } else if (entry != nullptr) {
-      sweep.phi_maxes_s = {entry->phi_max_s};
-    }
+    sweep.phi_maxes_s = {opt.budget_set ? opt.budget_s : default_budget_s};
   }
   if (!opt.targets_set) {
     if (opt.target_set) {
@@ -409,12 +489,30 @@ int main(int argc, char** argv) {
     print_scenarios(stdout);
     return 0;
   }
+  if (opt.list_traces) {
+    print_traces(stdout);
+    return 0;
+  }
+  // A run's environment comes from exactly one source; rejecting the
+  // combinations (rather than silently preferring one) must happen
+  // before the fleet dispatch, or --trace would be dropped unnoticed.
+  if (!opt.trace.empty() && (!opt.scenario.empty() || !opt.fleet.empty())) {
+    std::fprintf(stderr, "--trace is mutually exclusive with --scenario "
+                         "and --fleet\n");
+    return 2;
+  }
   if (!opt.fleet.empty()) return run_fleet(opt);
 
   core::RoadsideScenario scenario;
   std::string label{"roadside"};
   double default_budget_s = 86.4;
   const core::CatalogEntry* entry = nullptr;
+  if (!opt.trace.empty()) {
+    if (const int rc = build_trace_scenario(opt, scenario, label); rc != 0) {
+      return rc;
+    }
+    default_budget_s = scenario.phi_max_small_s();
+  }
   if (!opt.scenario.empty()) {
     entry = core::ScenarioCatalog::instance().find(opt.scenario);
     if (entry == nullptr) {
@@ -451,7 +549,9 @@ int main(int argc, char** argv) {
     label += marker;
   }
 
-  if (opt.batch) return run_batch(opt, scenario, label, entry);
+  if (opt.batch) {
+    return run_batch(opt, scenario, label, entry, default_budget_s);
+  }
 
   const double budget_s = opt.budget_set ? opt.budget_s : default_budget_s;
   core::ExperimentConfig cfg;
