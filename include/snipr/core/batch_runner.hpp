@@ -127,8 +127,19 @@ class BatchRunner {
   /// Execute every run. Results are in spec order and independent of the
   /// worker count; the first exception thrown by a run is rethrown after
   /// all workers join.
+  ///
+  /// Contact schedules are shared across the grid: a schedule is a pure
+  /// function of (scenario, epochs, jitter, seed), so every distinct
+  /// combination is materialised exactly once (in parallel) and the runs
+  /// of a group — typically all strategies × targets × budgets of one
+  /// seed — execute against one immutable shared schedule. Results are
+  /// byte-identical to building a private schedule per run.
   [[nodiscard]] std::vector<BatchRunResult> run(
       const std::vector<BatchRun>& runs) const;
+
+  /// Process-wide count of schedules materialised by run() so far.
+  /// Tests use deltas to pin the build-each-schedule-once guarantee.
+  [[nodiscard]] static std::uint64_t schedule_builds() noexcept;
 
   /// Group results by (label, strategy, ζtarget, Φmax), averaging across
   /// seeds. Order follows first appearance in `results`.

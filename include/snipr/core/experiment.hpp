@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "snipr/contact/schedule.hpp"
@@ -63,6 +64,14 @@ struct ExperimentConfig {
 /// Variant over an explicit pre-built schedule (trace-driven runs).
 [[nodiscard]] RunResult run_experiment_on_schedule(
     const RoadsideScenario& scenario, contact::ContactSchedule schedule,
+    node::Scheduler& scheduler, const ExperimentConfig& config);
+
+/// Variant over a shared immutable schedule: many runs (a BatchRunner
+/// grid cell, concurrent workers) can execute against one materialised
+/// schedule without copying it. The schedule must not be null.
+[[nodiscard]] RunResult run_experiment_on_schedule(
+    const RoadsideScenario& scenario,
+    std::shared_ptr<const contact::ContactSchedule> schedule,
     node::Scheduler& scheduler, const ExperimentConfig& config);
 
 }  // namespace snipr::core

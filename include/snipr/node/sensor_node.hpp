@@ -53,6 +53,10 @@ struct SensorNodeConfig {
   energy::EnergyModel energy_model{};
   /// Probing protocol executed on each wakeup.
   ProbingProtocol protocol{ProbingProtocol::kSnip};
+  /// Epochs the run is expected to simulate (0 = unknown). Drivers that
+  /// know their horizon set it so the per-epoch history is reserved up
+  /// front instead of growing geometrically across a long run.
+  std::size_t expected_epochs{0};
 };
 
 /// Per-epoch outcome counters, snapshotted at each epoch boundary.

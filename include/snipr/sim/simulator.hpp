@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "snipr/sim/event_queue.hpp"
 #include "snipr/sim/rng.hpp"

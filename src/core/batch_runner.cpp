@@ -1,6 +1,9 @@
 #include "snipr/core/batch_runner.hpp"
 
+#include <atomic>
+#include <bit>
 #include <cstdio>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -52,7 +55,38 @@ BatchRunner::BatchRunner(Config config) : threads_(config.threads) {
 
 namespace {
 
-BatchRunResult execute_one(const BatchRun& spec) {
+std::atomic<std::uint64_t> g_schedule_builds{0};
+
+/// Byte-exact identity of the schedule a BatchRun would materialise:
+/// every input of RoadsideScenario::make_schedule and of the RNG stream
+/// feeding it. Equal keys guarantee bit-identical schedules; replay
+/// workloads compare by corpus pointer (conservative — equal contents at
+/// two addresses simply build twice).
+std::string schedule_key(const BatchRun& run) {
+  std::string key;
+  key.reserve(64 + 8 * run.scenario.profile.slot_count());
+  const auto put = [&key](const void* p, std::size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  const auto put_u64 = [&put](std::uint64_t v) { put(&v, sizeof v); };
+  put_u64(run.epochs);
+  put_u64(static_cast<std::uint64_t>(run.jitter));
+  put_u64(run.seed);
+  put_u64(std::bit_cast<std::uint64_t>(run.scenario.tcontact_s));
+  put_u64(std::bit_cast<std::uint64_t>(run.scenario.replay_jitter_s));
+  put_u64(static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(run.scenario.replay.get())));
+  put_u64(static_cast<std::uint64_t>(run.scenario.profile.epoch().count()));
+  for (std::size_t s = 0; s < run.scenario.profile.slot_count(); ++s) {
+    put_u64(std::bit_cast<std::uint64_t>(
+        run.scenario.profile.mean_interval_s(s)));
+  }
+  return key;
+}
+
+BatchRunResult execute_one(
+    const BatchRun& spec,
+    std::shared_ptr<const contact::ContactSchedule> schedule) {
   std::unique_ptr<node::Scheduler> scheduler =
       spec.scheduler_factory
           ? spec.scheduler_factory()
@@ -64,39 +98,97 @@ BatchRunResult execute_one(const BatchRun& spec) {
   result.zeta_target_s = spec.zeta_target_s;
   result.phi_max_s = spec.phi_max_s;
   result.seed = spec.seed;
-  result.run =
-      run_experiment(spec.scenario, *scheduler, spec.experiment_config());
+  result.run = run_experiment_on_schedule(
+      spec.scenario, std::move(schedule), *scheduler,
+      spec.experiment_config());
   return result;
 }
 
 }  // namespace
 
+std::uint64_t BatchRunner::schedule_builds() noexcept {
+  return g_schedule_builds.load(std::memory_order_relaxed);
+}
+
 std::vector<BatchRunResult> BatchRunner::run(
     const std::vector<BatchRun>& runs) const {
+  // Group runs whose schedule inputs coincide; each group materialises
+  // its schedule once and shares it read-only across the group's runs.
+  std::unordered_map<std::string, std::size_t> group_index;
+  std::vector<std::size_t> group_rep;           // group -> first run index
+  std::vector<std::size_t> group_of(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto [it, inserted] =
+        group_index.try_emplace(schedule_key(runs[i]), group_rep.size());
+    if (inserted) group_rep.push_back(i);
+    group_of[i] = it->second;
+  }
+
+  const ThreadPool pool{threads_};
+  std::vector<std::shared_ptr<const contact::ContactSchedule>> schedules(
+      group_rep.size());
+  pool.parallel_for(group_rep.size(), [&](std::size_t g) {
+    const BatchRun& spec = runs[group_rep[g]];
+    // The same fresh Rng{seed} stream run_experiment used to draw, so
+    // the shared schedule is bit-identical to a per-run build.
+    sim::Rng rng{spec.seed};
+    schedules[g] = std::make_shared<const contact::ContactSchedule>(
+        spec.scenario.make_schedule(spec.epochs, spec.jitter, rng));
+    g_schedule_builds.fetch_add(1, std::memory_order_relaxed);
+  });
+
   std::vector<BatchRunResult> results(runs.size());
   // Result slot i belongs to spec i and each run seeds its own Simulator,
   // so worker assignment cannot influence output order or RNG streams.
-  const ThreadPool pool{threads_};
-  pool.parallel_for(runs.size(),
-                    [&](std::size_t i) { results[i] = execute_one(runs[i]); });
+  pool.parallel_for(runs.size(), [&](std::size_t i) {
+    results[i] = execute_one(runs[i], schedules[group_of[i]]);
+  });
   return results;
 }
+
+namespace {
+
+/// Aggregate cell identity, hashed directly — no per-result string
+/// rebuild. The label view borrows from the result row, which outlives
+/// the map. Doubles compare by bit pattern so equal keys always hash
+/// equally (matching the exact "%.17g" round-trip this replaces).
+struct CellKey {
+  std::string_view label;
+  Strategy strategy;
+  std::uint64_t zeta_bits;
+  std::uint64_t phi_bits;
+
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const noexcept {
+    std::size_t h = std::hash<std::string_view>{}(k.label);
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= static_cast<std::size_t>(v) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+           (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(k.strategy));
+    mix(k.zeta_bits);
+    mix(k.phi_bits);
+    return h;
+  }
+};
+
+}  // namespace
 
 std::vector<BatchAggregate> BatchRunner::aggregate(
     const std::vector<BatchRunResult>& results) {
   std::vector<BatchAggregate> cells;
-  // First-appearance order with O(1) grouping: the key round-trips the
-  // doubles exactly ("%.17g"), so identical spec values always collide.
-  std::unordered_map<std::string, std::size_t> cell_index;
+  cells.reserve(results.size());
+  // First-appearance order with O(1) grouping.
+  std::unordered_map<CellKey, std::size_t, CellKeyHash> cell_index;
+  cell_index.reserve(results.size());
   for (const BatchRunResult& r : results) {
-    char point[80];
-    // Length-prefixing the label makes the key collision-proof even for
-    // labels containing the separator.
-    std::snprintf(point, sizeof point, "%zu|%d|%.17g|%.17g", r.label.size(),
-                  static_cast<int>(r.strategy), r.zeta_target_s,
-                  r.phi_max_s);
-    const auto [it, inserted] =
-        cell_index.try_emplace(point + r.label, cells.size());
+    const CellKey key{r.label, r.strategy,
+                      std::bit_cast<std::uint64_t>(r.zeta_target_s),
+                      std::bit_cast<std::uint64_t>(r.phi_max_s)};
+    const auto [it, inserted] = cell_index.try_emplace(key, cells.size());
     if (inserted) {
       cells.emplace_back();
       BatchAggregate& fresh = cells.back();

@@ -12,10 +12,20 @@ RunResult run_experiment_on_schedule(const RoadsideScenario& scenario,
                                      contact::ContactSchedule schedule,
                                      node::Scheduler& scheduler,
                                      const ExperimentConfig& config) {
+  return run_experiment_on_schedule(
+      scenario,
+      std::make_shared<const contact::ContactSchedule>(std::move(schedule)),
+      scheduler, config);
+}
+
+RunResult run_experiment_on_schedule(
+    const RoadsideScenario& scenario,
+    std::shared_ptr<const contact::ContactSchedule> schedule,
+    node::Scheduler& scheduler, const ExperimentConfig& config) {
   sim::Simulator simulator{config.seed};
-  const std::size_t total_contacts = schedule.size();
+  const std::size_t total_contacts = schedule->size();
   radio::Channel channel{std::move(schedule), scenario.link,
-                        simulator.rng().fork()};
+                         simulator.rng().fork()};
   node::MobileNode sink;
 
   node::SensorNodeConfig node_cfg;
@@ -23,6 +33,7 @@ RunResult run_experiment_on_schedule(const RoadsideScenario& scenario,
   node_cfg.epoch = scenario.profile.epoch();
   node_cfg.budget_limit = sim::Duration::seconds(config.phi_max_s);
   node_cfg.sensing_rate_bps = config.sensing_rate_bps;
+  node_cfg.expected_epochs = config.epochs;
 
   node::SensorNode sensor{simulator, channel, sink, scheduler, node_cfg};
   sensor.start();

@@ -36,6 +36,9 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
   std::vector<NodeWorld> worlds;
   worlds.reserve(end - begin);
 
+  node::SensorNodeConfig node_config = config.node;
+  node_config.expected_epochs = config.epochs;
+
   for (std::size_t i = begin; i < end; ++i) {
     NodeWorld w;
     w.total_contacts = schedules[i].size();
@@ -47,7 +50,7 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
       throw std::invalid_argument("FleetEngine: factory returned null");
     }
     w.sensor = std::make_unique<node::SensorNode>(
-        simulator, *w.channel, *w.sink, *w.scheduler, config.node);
+        simulator, *w.channel, *w.sink, *w.scheduler, node_config);
     w.sensor->start();
     worlds.push_back(std::move(w));
   }

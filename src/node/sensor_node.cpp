@@ -32,6 +32,14 @@ SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
 void SensorNode::start() {
   if (started_) throw std::logic_error("SensorNode::start called twice");
   started_ = true;
+  history_.reserve(config_.expected_epochs);
+  // Each schedule contact is probed at most once, so schedule size is a
+  // hard bound — but duty-cycled nodes typically probe a small fraction
+  // of it, so cap the up-front commitment (a fleet holds every node's
+  // world at once); a heavier-probing run still grows geometrically
+  // past the cap.
+  constexpr std::size_t kProbedReserveCap = 1024;
+  probed_.reserve(std::min(channel_.schedule().size(), kProbedReserveCap));
   current_.epoch_index = 0;
   sim_.schedule_at(sim_.now(), [this] { cpu_wakeup(); });
   sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
@@ -132,7 +140,7 @@ void SensorNode::mip_wakeup() {
   // range now, else the first arriving inside the listen window.
   std::optional<contact::Contact> cand = channel_.active_contact(t0);
   if (!cand.has_value()) {
-    const auto next = channel_.schedule().next_arrival_at_or_after(t0);
+    const auto next = channel_.next_arrival_at_or_after(t0);
     if (next.has_value() && next->arrival < listen_end) cand = next;
   }
 
@@ -210,14 +218,18 @@ void SensorNode::begin_transfer(const contact::Contact& active,
     ++current_.contacts_probed;
   }
 
+  // Bools ride at the tail of the capture list so the closure packs into
+  // the event queue's 64-byte inline storage; the link rate is re-read at
+  // completion (constant during a run) rather than captured.
   const sim::Duration cycle = cycle_hint;
   sim_.schedule_at(transfer_end, [this, active, probe_time, transfer_end,
-                                  saw_departure, rate, cycle, new_session] {
+                                  cycle, saw_departure, new_session] {
     // Metered on completion; a transfer straddling an epoch boundary is
     // attributed to the epoch in which it ends, like its bytes.
     transfer_meter_.accumulate(RadioState::kTx, transfer_end - probe_time);
     const double duration_s = (transfer_end - probe_time).to_seconds();
-    const double bytes = buffer_.take(transfer_end, rate * duration_s);
+    const double bytes = buffer_.take(
+        transfer_end, channel_.link().data_rate_bps * duration_s);
     current_.bytes_uploaded += bytes;
     sink_.deliver(bytes, transfer_end, new_session);
     if (new_session) {

@@ -5,11 +5,51 @@
 namespace snipr::radio {
 
 Channel::Channel(contact::ContactSchedule schedule, LinkParams link,
-                 sim::Rng rng) noexcept
+                 sim::Rng rng)
+    : Channel{std::make_shared<const contact::ContactSchedule>(
+                  std::move(schedule)),
+              link, rng} {}
+
+Channel::Channel(std::shared_ptr<const contact::ContactSchedule> schedule,
+                 LinkParams link, sim::Rng rng)
     : schedule_{std::move(schedule)}, link_{link}, rng_{rng} {}
 
+std::size_t Channel::position_cursor(sim::TimePoint t) const {
+  const std::vector<contact::Contact>& contacts = schedule_->contacts();
+  if (t < cursor_time_) {
+    // Backward query: re-derive the cursor by binary search.
+    cursor_ = schedule_->first_undeparted_index(t);
+  } else {
+    while (cursor_ < contacts.size() &&
+           contacts[cursor_].departure() <= t) {
+      ++cursor_;
+    }
+  }
+  cursor_time_ = t;
+  return cursor_;
+}
+
+std::optional<contact::Contact> Channel::active_contact(
+    sim::TimePoint t) const {
+  const std::vector<contact::Contact>& contacts = schedule_->contacts();
+  const std::size_t i = position_cursor(t);
+  if (i < contacts.size() && contacts[i].covers(t)) return contacts[i];
+  return std::nullopt;
+}
+
+std::optional<contact::Contact> Channel::next_arrival_at_or_after(
+    sim::TimePoint t) const {
+  const std::vector<contact::Contact>& contacts = schedule_->contacts();
+  std::size_t i = position_cursor(t);
+  // The contact at the cursor has not departed yet, but may be active
+  // (arrival < t); every later contact arrives strictly after t.
+  if (i < contacts.size() && contacts[i].arrival < t) ++i;
+  if (i >= contacts.size()) return std::nullopt;
+  return contacts[i];
+}
+
 bool Channel::try_deliver(sim::TimePoint start, sim::Duration airtime) {
-  const auto active = schedule_.active_at(start);
+  const auto active = active_contact(start);
   if (!active.has_value()) return false;
   if (start + airtime > active->departure()) return false;
   if (link_.frame_loss > 0.0 && rng_.bernoulli(link_.frame_loss)) return false;

@@ -1,6 +1,8 @@
 #include "snipr/sim/event_queue.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 namespace snipr::sim {
@@ -36,27 +38,55 @@ void EventQueue::sift_down(std::size_t i) const {
 }
 
 void EventQueue::remove_root() const {
-  heap_.front() = std::move(heap_.back());
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
+void EventQueue::drop_stale_head() const {
+  while (!heap_.empty() && stale(heap_.front())) {
     remove_root();
   }
 }
 
+void EventQueue::retire(std::uint32_t slot) {
+  slots_[slot].fn.reset();
+  // Generation 0 is reserved: it keeps every packed id non-zero (the
+  // kInvalidEventId sentinel) and cancel() rejects it outright, so a
+  // wrapping slot skips straight from 2^32-1 to 1.
+  if (++slots_[slot].generation == 0) slots_[slot].generation = 1;
+  free_.push_back(slot);
+  --live_;
+}
+
 EventId EventQueue::schedule(TimePoint at, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    if (slots_.size() >
+        static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+      throw std::length_error("EventQueue: slot index space exhausted");
+    }
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t generation = slots_[slot].generation;
+  heap_.push_back(Entry{at, next_seq_++, slot, generation});
   sift_up(heap_.size() - 1);
-  live_.insert(id);
-  return id;
+  ++live_;
+  return pack(generation, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (live_.erase(id) == 0) return false;
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (generation == 0) return false;  // kInvalidEventId and friends
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].generation != generation) return false;
+  retire(slot);
   // The heap entry stays behind as a tombstone, skipped lazily at the
   // head — unless tombstones now dominate, in which case sweep them all.
   maybe_compact();
@@ -65,29 +95,26 @@ bool EventQueue::cancel(EventId id) {
 
 void EventQueue::maybe_compact() {
   if (heap_.size() < kCompactionFloor) return;
-  if (heap_.size() <= 2 * live_.size()) return;
-  const auto dead = [this](const Entry& e) {
-    return live_.find(e.id) == live_.end();
-  };
+  if (heap_.size() <= 2 * live_) return;
+  const auto dead = [this](const Entry& e) { return stale(e); };
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   // Floyd heapify: O(n), cheaper than re-inserting survivors one by one.
   for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
 }
 
 std::optional<TimePoint> EventQueue::next_time() const {
-  drop_cancelled_head();
+  drop_stale_head();
   if (heap_.empty()) return std::nullopt;
   return heap_.front().at;
 }
 
-bool EventQueue::empty() const { return live_.empty(); }
-
 std::optional<EventQueue::Popped> EventQueue::pop() {
-  drop_cancelled_head();
+  drop_stale_head();
   if (heap_.empty()) return std::nullopt;
-  Entry& top = heap_.front();
-  Popped out{top.at, top.id, std::move(top.fn)};
-  live_.erase(out.id);
+  const Entry top = heap_.front();
+  Popped out{top.at, pack(top.generation, top.slot),
+             std::move(slots_[top.slot].fn)};
+  retire(top.slot);
   remove_root();
   return out;
 }

@@ -145,6 +145,36 @@ TEST(BatchRunnerTest, AggregateKeysDoNotCollideOnSeparatorLabels) {
   EXPECT_EQ(BatchRunner::aggregate(results).size(), 2u);
 }
 
+TEST(BatchRunnerTest, GridMaterializesEachDistinctScheduleExactlyOnce) {
+  // 2 strategies x 2 targets x 3 seeds over one scenario: the schedule
+  // depends only on (scenario, epochs, jitter, seed), so the whole grid
+  // must build exactly 3 schedules — one per seed — not one per run.
+  const std::vector<BatchRun> runs = expand_sweep(small_sweep());
+  ASSERT_EQ(runs.size(), 12u);
+  const std::uint64_t before = BatchRunner::schedule_builds();
+  (void)BatchRunner{BatchRunner::Config{.threads = 4}}.run(runs);
+  EXPECT_EQ(BatchRunner::schedule_builds() - before, 3u);
+}
+
+TEST(BatchRunnerTest, ScheduleSharingSplitsOnEpochsJitterAndSeed) {
+  SweepSpec sweep = small_sweep();
+  sweep.strategies = {Strategy::kSnipRh};
+  sweep.zeta_targets_s = {16.0};
+  sweep.seeds = {1};
+  std::vector<BatchRun> runs = expand_sweep(sweep);
+  BatchRun more_epochs = runs[0];
+  more_epochs.epochs += 1;
+  BatchRun no_jitter = runs[0];
+  no_jitter.jitter = contact::IntervalJitter::kNone;
+  BatchRun other_seed = runs[0];
+  other_seed.seed = 99;
+  BatchRun duplicate = runs[0];  // shares the first run's schedule
+  runs.insert(runs.end(), {more_epochs, no_jitter, other_seed, duplicate});
+  const std::uint64_t before = BatchRunner::schedule_builds();
+  (void)BatchRunner{BatchRunner::Config{.threads = 2}}.run(runs);
+  EXPECT_EQ(BatchRunner::schedule_builds() - before, 4u);
+}
+
 TEST(BatchRunnerTest, ZeroThreadConfigFallsBackToHardwareConcurrency) {
   const BatchRunner runner{BatchRunner::Config{.threads = 0}};
   EXPECT_GE(runner.threads(), 1u);

@@ -1,0 +1,143 @@
+/// Property: the Channel's monotone-cursor queries are observationally
+/// identical to ContactSchedule's binary-search lookups, for any query
+/// sequence — forward-running (the simulation hot path the cursor
+/// accelerates), backward jumps (which force the binary-search
+/// fallback), and exact boundary hits.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "snipr/contact/schedule.hpp"
+#include "snipr/radio/channel.hpp"
+#include "snipr/sim/rng.hpp"
+
+namespace snipr::radio {
+namespace {
+
+using contact::Contact;
+using contact::ContactSchedule;
+using sim::Duration;
+using sim::Rng;
+using sim::TimePoint;
+
+/// Random non-overlapping schedule: gaps and lengths in microseconds,
+/// lengths strictly positive, occasional back-to-back (touching)
+/// contacts to hit the arrival == previous-departure boundary.
+ContactSchedule random_schedule(Rng& rng, std::size_t contacts) {
+  std::vector<Contact> list;
+  list.reserve(contacts);
+  TimePoint cursor = TimePoint::zero();
+  for (std::size_t i = 0; i < contacts; ++i) {
+    const bool touching = rng.bernoulli(0.2);
+    if (!touching) {
+      cursor += Duration::microseconds(
+          1 + static_cast<std::int64_t>(rng.uniform_int(5'000'000)));
+    }
+    const auto length = Duration::microseconds(
+        1 + static_cast<std::int64_t>(rng.uniform_int(3'000'000)));
+    list.push_back(Contact{cursor, length});
+    cursor += length;
+  }
+  return ContactSchedule{std::move(list)};
+}
+
+/// Query instants biased to interesting places: contact edges, interiors
+/// and gaps, visited mostly forward with occasional backward jumps.
+std::vector<TimePoint> random_queries(Rng& rng, const ContactSchedule& sched,
+                                      std::size_t count) {
+  const TimePoint end = sched.empty()
+                            ? TimePoint::zero() + Duration::seconds(10)
+                            : sched.contacts().back().departure() +
+                                  Duration::seconds(2);
+  std::vector<TimePoint> queries;
+  queries.reserve(count);
+  TimePoint t = TimePoint::zero();
+  for (std::size_t i = 0; i < count; ++i) {
+    const double coin = rng.uniform();
+    if (coin < 0.15 && !sched.empty()) {
+      // Jump (often backward) to a contact edge.
+      const Contact& c = sched.contacts()[rng.uniform_int(sched.size())];
+      t = rng.bernoulli(0.5) ? c.arrival : c.departure();
+      if (rng.bernoulli(0.3)) t += Duration::microseconds(1);
+      if (rng.bernoulli(0.3) && t > TimePoint::zero()) {
+        t -= Duration::microseconds(1);
+      }
+    } else if (coin < 0.25) {
+      // Backward jump by a random span.
+      const auto back = Duration::microseconds(
+          static_cast<std::int64_t>(rng.uniform_int(4'000'000)));
+      t = t - back < TimePoint::zero() ? TimePoint::zero() : t - back;
+    } else {
+      // Forward step, the dominant simulation pattern.
+      t += Duration::microseconds(
+          static_cast<std::int64_t>(rng.uniform_int(2'000'000)));
+    }
+    if (t > end) t = TimePoint::zero();  // wrap to keep queries in range
+    queries.push_back(t);
+  }
+  return queries;
+}
+
+TEST(ChannelCursorProperty, MatchesBinarySearchOnRandomQuerySequences) {
+  Rng rng{20260729};
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t contacts = rng.uniform_int(40);
+    const ContactSchedule schedule = random_schedule(rng, contacts);
+    // frame_loss = 0 keeps try_deliver deterministic, so the cursor and
+    // reference channels cannot diverge through their RNG streams.
+    LinkParams link;
+    link.frame_loss = 0.0;
+    Channel channel{schedule, link, Rng{1}};
+
+    for (const TimePoint t : random_queries(rng, schedule, 400)) {
+      const auto expected = schedule.active_at(t);
+      const auto actual = channel.active_contact(t);
+      ASSERT_EQ(expected.has_value(), actual.has_value())
+          << "active_contact mismatch at t=" << t << " round " << round;
+      if (expected.has_value()) {
+        ASSERT_EQ(expected->arrival, actual->arrival);
+        ASSERT_EQ(expected->length, actual->length);
+      }
+
+      const auto expected_next = schedule.next_arrival_at_or_after(t);
+      const auto actual_next = channel.next_arrival_at_or_after(t);
+      ASSERT_EQ(expected_next.has_value(), actual_next.has_value())
+          << "next_arrival mismatch at t=" << t << " round " << round;
+      if (expected_next.has_value()) {
+        ASSERT_EQ(expected_next->arrival, actual_next->arrival);
+        ASSERT_EQ(expected_next->length, actual_next->length);
+      }
+
+      // Loss-free delivery is a pure predicate over the schedule.
+      const auto airtime = Duration::microseconds(1000);
+      const bool expected_deliver = expected.has_value() &&
+                                    t + airtime <= expected->departure();
+      ASSERT_EQ(channel.try_deliver(t, airtime), expected_deliver)
+          << "try_deliver mismatch at t=" << t << " round " << round;
+    }
+  }
+}
+
+TEST(ChannelCursorProperty, StrictlyForwardSweepMatchesBinarySearch) {
+  Rng rng{42};
+  const ContactSchedule schedule = random_schedule(rng, 64);
+  Channel channel{schedule, LinkParams{}, Rng{1}};
+  TimePoint t = TimePoint::zero();
+  const TimePoint end =
+      schedule.contacts().back().departure() + Duration::seconds(1);
+  while (t <= end) {
+    const auto expected = schedule.active_at(t);
+    const auto actual = channel.active_contact(t);
+    ASSERT_EQ(expected.has_value(), actual.has_value()) << "t=" << t;
+    if (expected.has_value()) {
+      ASSERT_EQ(expected->arrival, actual->arrival);
+    }
+    t += Duration::microseconds(
+        1 + static_cast<std::int64_t>(rng.uniform_int(200'000)));
+  }
+}
+
+}  // namespace
+}  // namespace snipr::radio

@@ -159,6 +159,56 @@ TEST(EventQueue, CompactionPreservesOrderAndLiveEvents) {
   EXPECT_EQ(popped, expected.size());
 }
 
+TEST(EventQueue, StaleCancelNeverTouchesTheSlotsNewerEvent) {
+  // Slot indices recycle through the free list; the generation half of
+  // the id must keep a stale handle from cancelling the slot's new owner.
+  EventQueue q;
+  const EventId old_id = q.schedule(at_s(1), [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  bool ran = false;
+  const EventId new_id = q.schedule(at_s(2), [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));  // stale generation
+  EXPECT_EQ(q.size(), 1U);
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, new_id);
+  e->fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PoppedIdStaysDeadWhenSlotIsReused) {
+  EventQueue q;
+  const EventId popped_id = q.schedule(at_s(1), [] {});
+  ASSERT_TRUE(q.pop().has_value());
+  // The freed slot is taken by the next schedule; the popped id must not
+  // resurrect (cancel) it.
+  const EventId reused = q.schedule(at_s(2), [] {});
+  EXPECT_NE(popped_id, reused);
+  EXPECT_FALSE(q.cancel(popped_id));
+  EXPECT_EQ(q.size(), 1U);
+  EXPECT_TRUE(q.cancel(reused));
+}
+
+TEST(EventQueue, IdsStayUniqueAcrossManySlotGenerations) {
+  // One slot recycled thousands of times: every generation's id is
+  // distinct and every stale id stays permanently dead.
+  EventQueue q;
+  const EventId first = q.schedule(at_s(1), [] {});
+  EXPECT_TRUE(q.cancel(first));
+  EventId previous = first;
+  for (int i = 0; i < 5000; ++i) {
+    const EventId id = q.schedule(at_s(1), [] {});
+    EXPECT_NE(id, previous);
+    EXPECT_NE(id, first);
+    EXPECT_FALSE(q.cancel(first));
+    EXPECT_FALSE(q.cancel(previous));
+    ASSERT_TRUE(q.cancel(id));
+    previous = id;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ManyInterleavedOperations) {
   EventQueue q;
   std::vector<EventId> ids;

@@ -1,0 +1,104 @@
+#include "snipr/sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace snipr::sim {
+namespace {
+
+using Callback = InlineCallback<64>;
+
+TEST(InlineCallbackTest, DefaultConstructedIsEmpty) {
+  const Callback cb{};
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, InvokingEmptyThrowsBadFunctionCall) {
+  Callback cb{};
+  EXPECT_THROW(cb(), std::bad_function_call);
+}
+
+TEST(InlineCallbackTest, InvokingMovedFromThrowsBadFunctionCall) {
+  Callback a{[] {}};
+  Callback b{std::move(a)};
+  b();
+  // NOLINTNEXTLINE(bugprone-use-after-move)
+  EXPECT_THROW(a(), std::bad_function_call);
+}
+
+TEST(InlineCallbackTest, InvokesTheStoredClosure) {
+  int hits = 0;
+  Callback cb{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnershipAndEmptiesTheSource) {
+  int hits = 0;
+  Callback a{[&hits] { ++hits; }};
+  Callback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, MoveAssignmentDestroysThePreviousClosure) {
+  // A shared_ptr captive observes destruction: after assignment the
+  // original closure must be gone, and the assigned one must run.
+  auto witness = std::make_shared<int>(0);
+  std::weak_ptr<int> alive = witness;
+  Callback cb{[witness] { (void)witness; }};
+  witness.reset();
+  EXPECT_FALSE(alive.expired());
+  int hits = 0;
+  cb = Callback{[&hits] { ++hits; }};
+  EXPECT_TRUE(alive.expired());
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, ResetDestroysAndEmpties) {
+  auto witness = std::make_shared<int>(0);
+  std::weak_ptr<int> alive = witness;
+  Callback cb{[witness] { (void)witness; }};
+  witness.reset();
+  cb.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, DestructorReleasesTheClosure) {
+  auto witness = std::make_shared<int>(0);
+  std::weak_ptr<int> alive = witness;
+  {
+    const Callback cb{[witness] { (void)witness; }};
+    witness.reset();
+    EXPECT_FALSE(alive.expired());
+  }
+  EXPECT_TRUE(alive.expired());
+}
+
+TEST(InlineCallbackTest, HoldsClosuresUpToFullCapacity) {
+  // A capture exactly at the 64-byte capacity must compile and run; the
+  // static_assert in the converting constructor rejects anything larger
+  // at compile time.
+  struct Fat {
+    std::uint64_t words[7];
+  };
+  const Fat fat{{1, 2, 3, 4, 5, 6, 7}};
+  std::uint64_t sum = 0;
+  std::uint64_t* out = &sum;
+  Callback cb{[fat, out] { *out = fat.words[0] + fat.words[6]; }};
+  static_assert(sizeof(fat) + sizeof(out) == 64);
+  cb();
+  EXPECT_EQ(sum, 8U);
+}
+
+}  // namespace
+}  // namespace snipr::sim

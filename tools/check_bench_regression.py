@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json against the checked-in baseline.
+
+Reads two google-benchmark JSON files and compares every throughput
+counter (any user counter named *_per_sec) benchmark by benchmark. A
+counter more than --tolerance (default 15%) BELOW the baseline is a
+regression and fails the check; improvements are reported but never
+fail. A steady-state allocation counter (allocs_per_event /
+bytes_per_event) that is zero in the baseline but nonzero in the new run
+also fails: the zero-allocation hot path has been lost.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
+The CI job running this is non-blocking (continue-on-error) — the gate
+exists to flag drift in the PR log, not to brick the build on a noisy
+shared runner.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_counters(path):
+    """Map benchmark name -> {counter: value} for rate + alloc counters.
+
+    Repetition runs (--benchmark_repetitions=N emits N "iteration"
+    entries under the same name) are averaged, so the gate sees the mean
+    of all repetitions rather than silently keeping only the last one.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    sums = {}
+    counts = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        counters = {}
+        for key, value in bench.items():
+            if key.endswith("_per_sec") or key.endswith("_per_event"):
+                counters[key] = float(value)
+        if not counters:
+            continue
+        acc = sums.setdefault(name, {})
+        for key, value in counters.items():
+            acc[key] = acc.get(key, 0.0) + value
+        counts[name] = counts.get(name, 0) + 1
+    return {
+        name: {key: value / counts[name] for key, value in acc.items()}
+        for name, acc in sums.items()
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_hotpath.json")
+    parser.add_argument("current", help="freshly measured BENCH_hotpath.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop (default 0.15)")
+    args = parser.parse_args()
+
+    baseline = load_counters(args.baseline)
+    current = load_counters(args.current)
+
+    failures = []
+    for name, base_counters in sorted(baseline.items()):
+        cur_counters = current.get(name)
+        if cur_counters is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for counter, base in sorted(base_counters.items()):
+            cur = cur_counters.get(counter)
+            if cur is None:
+                failures.append(f"{name}/{counter}: missing from current run")
+                continue
+            if counter.endswith("_per_event"):
+                if base == 0.0 and cur > 0.0:
+                    failures.append(
+                        f"{name}/{counter}: baseline 0, now {cur:g} — "
+                        "steady-state allocations reintroduced")
+                continue
+            if base <= 0.0:
+                continue
+            ratio = cur / base
+            verdict = "ok"
+            if ratio < 1.0 - args.tolerance:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}/{counter}: {base:.3g} -> {cur:.3g} "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
+            elif ratio > 1.0 + args.tolerance:
+                verdict = "improved"
+            print(f"{name}/{counter}: {base:.3g} -> {cur:.3g} "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%) {verdict}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}% tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall hot-path counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
