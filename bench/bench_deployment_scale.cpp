@@ -119,7 +119,9 @@ int main(int argc, char** argv) {
               " learning exists to fix.\n");
 
   if (!json_path.empty()) {
-    std::string json{"{\"schema\":\"snipr.bench.deployment_scale.v1\","};
+    std::string json;
+    core::json::open_document(json,
+                              core::json::kBenchDeploymentScaleSchemaV1);
     json += "\"scenario\":\"fleet-highway-1k\",\"rows\":[";
     json += rows;
     json += "]}";

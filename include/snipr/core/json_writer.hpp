@@ -15,6 +15,40 @@
 
 namespace snipr::core::json {
 
+/// Schema identifiers, centralised so no emitter ever hard-codes (and
+/// silently forks) a version string. Bump a constant here and every
+/// producer — and golden_runner's mismatch check — moves together.
+inline constexpr const char* kBatchSchemaV1 = "snipr.batch.v1";
+/// Fleet outcome without a network (store-and-forward) section.
+inline constexpr const char* kFleetSchemaV1 = "snipr.fleet.v1";
+/// Fleet outcome carrying the multi-hop collection "network" section.
+inline constexpr const char* kFleetSchemaV2 = "snipr.fleet.v2";
+inline constexpr const char* kBenchDeploymentScaleSchemaV1 =
+    "snipr.bench.deployment_scale.v1";
+inline constexpr const char* kBenchMultihopScaleSchemaV1 =
+    "snipr.bench.multihop_scale.v1";
+
+/// Open a document with its schema marker: `{"schema":"<schema>",`.
+inline void open_document(std::string& out, const char* schema) {
+  out += "{\"schema\":\"";
+  out += schema;
+  out += "\",";
+}
+
+/// The schema identifier of a JSON document emitted by open_document
+/// (`{"schema":"..."` as the first field), or empty when the document
+/// carries none. Used by golden_runner to reject a version mismatch
+/// outright instead of reporting it as an opaque byte diff.
+[[nodiscard]] inline std::string_view extract_schema(
+    std::string_view json) noexcept {
+  constexpr std::string_view prefix{"{\"schema\":\""};
+  if (json.substr(0, prefix.size()) != prefix) return {};
+  const std::size_t begin = prefix.size();
+  const std::size_t end = json.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return json.substr(begin, end - begin);
+}
+
 inline void append_number(std::string& out, double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.10g", value);

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snipr/deploy/road_contacts.hpp"
+#include "snipr/deploy/routing.hpp"
+
+/// \file collection.hpp
+/// The store-and-forward collection pass (the data plane).
+///
+/// The sharded probing layer decides *which* contacts each node detects;
+/// this pass decides where the sensed bytes go. It replays the probed
+/// sessions of the whole fleet in one deterministic time order and moves
+/// fluid data node → vehicle → (relay node → vehicle →)* sink, bounded
+/// by link bandwidth × residual contact time, store capacities and the
+/// forwarding policy. Running it single-threaded over shard-independent
+/// inputs is what keeps the v2 fleet output byte-identical at any
+/// shard/thread count: the probing layer already guarantees the session
+/// list is a pure function of (seed, spec), and everything here is a
+/// pure function of the session list.
+
+namespace snipr::deploy {
+
+/// One successfully probed contact, with carrier identity restored.
+struct CollectionSession {
+  std::uint32_t node{0};     ///< fleet node index
+  std::uint32_t vehicle{0};  ///< index into CollectionInput::vehicles
+  double probe_time_s{0.0};  ///< when the probe handshake completed
+  double departure_s{0.0};   ///< when the carrier leaves range
+};
+
+struct CollectionInput {
+  RoutingSpec routing;
+  /// Per-node sensed-data generation rate, bytes/second.
+  double sensing_rate_bps{0.0};
+  /// Link payload bandwidth, bytes/second (radio::LinkParams).
+  double data_rate_bps{0.0};
+  /// Communication range (sets the sink's service window).
+  double range_m{10.0};
+  /// Node positions along the road, metres (fleet node order).
+  std::vector<double> positions_m;
+  /// The materialised vehicle flow (carrier geometry: entry, speed,
+  /// exit). Sessions index into this vector.
+  std::vector<VehicleEntry> vehicles;
+  /// Probed sessions, any order — the pass sorts them deterministically.
+  std::vector<CollectionSession> sessions;
+  double horizon_s{0.0};
+};
+
+/// Position of the collection sink for this input: the sink node's
+/// position when `routing.sink_node` is set, otherwise a virtual sink
+/// one communication range past the last node.
+[[nodiscard]] double sink_position_m(const CollectionInput& input);
+
+/// Run the collection pass. Deterministic: same input, same outcome
+/// (and the same `snipr.fleet.v2` bytes through to_json).
+[[nodiscard]] NetworkOutcome run_collection(const CollectionInput& input);
+
+}  // namespace snipr::deploy

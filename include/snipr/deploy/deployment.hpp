@@ -2,9 +2,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "snipr/contact/schedule.hpp"
+#include "snipr/deploy/routing.hpp"
 #include "snipr/node/sensor_node.hpp"
 #include "snipr/radio/link.hpp"
 
@@ -52,6 +54,9 @@ struct DeploymentOutcome {
   double zeta_stddev_s{0.0};
   /// Jain's fairness index over per-node ζ (1 = perfectly even).
   double zeta_fairness{1.0};
+  /// Store-and-forward collection results, present when the fleet ran
+  /// with a RoutingSpec (upgrades the JSON schema to snipr.fleet.v2).
+  std::optional<NetworkOutcome> network;
 };
 
 struct DeploymentConfig {

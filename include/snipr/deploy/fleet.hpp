@@ -1,63 +1,89 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <utility>
 
-#include "snipr/contact/process.hpp"
 #include "snipr/contact/profile.hpp"
 #include "snipr/core/strategy.hpp"
+#include "snipr/deploy/routing.hpp"
+#include "snipr/deploy/workload.hpp"
 
 /// \file fleet.hpp
 /// Declarative description of a road-side fleet (the paper's Fig. 1
-/// network setting): N sensor nodes along one road, all visited by the
-/// same uncontrolled vehicle flow. Plain data so the scenario catalog can
-/// carry fleet entries without knowing how the engine runs them; the
-/// execution machinery lives in fleet_engine.hpp.
+/// network setting). Plain data so the scenario catalog can carry fleet
+/// entries without knowing how the engine runs them; the execution
+/// machinery lives in fleet_engine.hpp.
+///
+/// The contact workload is an explicit `deploy::Workload` variant —
+/// RoadWorkload (shared generative flow over a road geometry) or
+/// TraceWorkload (per-node rotated trace replay) — constructed through
+/// the `FleetSpec::road` / `FleetSpec::trace_replay` factories rather
+/// than by poking flat fields and hoping the unrelated ones are ignored
+/// (the old API's failure mode: a catalog entry that set `trace` but
+/// forgot geometry fields were now dead, or vice versa).
 
 namespace snipr::deploy {
 
 struct FleetSpec {
-  /// Sensor nodes along the road.
+  /// Sensor nodes in the fleet.
   std::size_t nodes{64};
-  /// Position of node 0 (metres from the road entry) and the uniform
-  /// spacing between consecutive nodes.
-  double first_position_m{50.0};
-  double spacing_m{300.0};
-  /// Communication range shared by every node.
-  double range_m{10.0};
 
-  /// Vehicle entry-interval profile (rush hours!) and its jitter.
+  /// What produces each node's contacts: a shared generative road flow
+  /// or a per-node rotated trace replay.
+  Workload workload{RoadWorkload{}};
+
+  /// Vehicle entry-interval profile (rush hours!). Top-level — not
+  /// inside RoadWorkload — because both workload kinds need it: the
+  /// road flow samples entry intervals from it, and a trace replay
+  /// still takes its epoch for the simulation horizon and every node's
+  /// scheduling slot grid (keep it on the epoch the trace was recorded
+  /// against).
   contact::ArrivalProfile flow_profile{contact::ArrivalProfile::roadside()};
-  contact::IntervalJitter jitter{contact::IntervalJitter::kNormalTenth};
-
-  /// Per-vehicle speed: truncated normal, or fixed when stddev <= 0.
-  double speed_mean_mps{10.0};
-  double speed_stddev_mps{1.5};
-  double speed_min_mps{2.0};
 
   /// Probing mechanism every node runs, at this operating point.
   core::Strategy strategy{core::Strategy::kSnipRh};
   double zeta_target_s{16.0};
 
-  /// Trace-driven workload: when `trace` names a `trace::TraceCatalog`
-  /// entry, node i replays that trace instead of sampling the generative
-  /// vehicle flow — phase-rotated by i * trace_stagger_s within the
-  /// trace span (tiled at the trace entry's own epoch) and perturbed per
-  /// contact by trace_jitter_stddev_s from the node's own RNG stream. A
-  /// *heterogeneous* fleet: every node sees a different slice of one
-  /// recorded (or generated) workload. The geometry and speed fields
-  /// above are then ignored, but `flow_profile` still matters: its epoch
-  /// sets the simulation horizon and every node's scheduling slot grid,
-  /// so keep it on the same epoch the trace was recorded against.
-  std::string trace;
-  double trace_stagger_s{0.0};
-  double trace_jitter_stddev_s{0.0};
-  /// Resolution directory for a file-backed trace entry. Empty = the
-  /// runtime default ($SNIPR_TRACE_DATA_DIR, then the compiled-in
-  /// corpus dir); a catalog-pinned fleet must set
-  /// trace::TraceCatalog::compiled_data_dir() so an environment override
-  /// cannot swap the corpus behind a golden-pinned name.
-  std::string trace_data_dir;
+  /// Store-and-forward collection on top of the detected contacts.
+  /// Engaged → the outcome gains a network section and the JSON schema
+  /// moves to `snipr.fleet.v2`. Road workloads only: a trace replay has
+  /// no vehicle identity to ferry data with (the engine rejects the
+  /// combination).
+  std::optional<RoutingSpec> routing;
+
+  /// A fleet over the generative road flow.
+  [[nodiscard]] static FleetSpec road(std::size_t nodes, RoadWorkload road,
+                                      core::Strategy strategy,
+                                      double zeta_target_s) {
+    FleetSpec spec;
+    spec.nodes = nodes;
+    spec.workload = std::move(road);
+    spec.strategy = strategy;
+    spec.zeta_target_s = zeta_target_s;
+    return spec;
+  }
+
+  /// A fleet replaying a trace-catalog entry.
+  [[nodiscard]] static FleetSpec trace_replay(std::size_t nodes,
+                                              TraceWorkload trace,
+                                              core::Strategy strategy,
+                                              double zeta_target_s) {
+    FleetSpec spec;
+    spec.nodes = nodes;
+    spec.workload = std::move(trace);
+    spec.strategy = strategy;
+    spec.zeta_target_s = zeta_target_s;
+    return spec;
+  }
+
+  [[nodiscard]] const RoadWorkload* road_workload() const noexcept {
+    return std::get_if<RoadWorkload>(&workload);
+  }
+  [[nodiscard]] const TraceWorkload* trace_workload() const noexcept {
+    return std::get_if<TraceWorkload>(&workload);
+  }
 };
 
 }  // namespace snipr::deploy

@@ -58,11 +58,23 @@ class FleetEngine {
                                       const FleetSpec& spec,
                                       const FleetConfig& config) const;
 
-  /// Serialise an outcome as JSON (schema "snipr.fleet.v1"): aggregates
-  /// plus one compact row per node. Deterministic: same outcome, same
-  /// bytes — and outcomes are shard-count-independent, so this is what
-  /// the fleet golden corpus pins.
+  /// Serialise an outcome as JSON: aggregates plus one compact row per
+  /// node (`core::json::kFleetSchemaV1`), and — when the outcome carries
+  /// a store-and-forward network section — the collection results under
+  /// `"network"` with the schema bumped to `core::json::kFleetSchemaV2`.
+  /// Deterministic: same outcome, same bytes — and outcomes are
+  /// shard-count-independent, so this is what the fleet golden corpus
+  /// pins.
   [[nodiscard]] static std::string to_json(const DeploymentOutcome& outcome);
+
+ private:
+  /// `run`, with each node's probed-contact log exported through
+  /// `probed` (resized to the fleet; slot i is node i's log) — the
+  /// session list the store-and-forward collection pass replays.
+  [[nodiscard]] DeploymentOutcome run_with_probes(
+      std::vector<contact::ContactSchedule> schedules,
+      const SchedulerFactory& make_scheduler, const FleetConfig& config,
+      std::vector<std::vector<node::ProbedContactRecord>>* probed) const;
 };
 
 /// Node/link configuration for a catalog-style fleet run: Ton and link

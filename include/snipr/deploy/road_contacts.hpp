@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -28,6 +30,10 @@ namespace snipr::deploy {
 struct VehicleEntry {
   sim::TimePoint entry;  ///< time the vehicle passes position 0
   double speed_mps;      ///< constant along the road
+  /// Position where the vehicle leaves the road; +inf = drives through.
+  /// A vehicle exiting at e is in range of the node at x only while its
+  /// position is below e, so a node with x − R ≥ e never sees it.
+  double exit_m{std::numeric_limits<double>::infinity()};
 };
 
 /// The uncontrolled vehicle flow: entry times follow a per-slot arrival
@@ -52,6 +58,24 @@ struct VehicleFlow {
 /// merged into a single contact, honouring the reference model's
 /// one-mobile-at-a-time assumption (Sec. II).
 [[nodiscard]] std::vector<contact::ContactSchedule> build_road_schedules(
+    const std::vector<double>& positions_m, double range_m,
+    const std::vector<VehicleEntry>& vehicles);
+
+/// Road schedules with carrier identity preserved: carriers[i][j] is the
+/// index (into the vehicles vector) of the vehicle behind contact j of
+/// node i. When overlapping passes merge into one contact, the merged
+/// contact keeps the *first* pass's vehicle — the carrier the probing
+/// handshake would reach first.
+struct RoadContactPlan {
+  std::vector<contact::ContactSchedule> schedules;
+  std::vector<std::vector<std::uint32_t>> carriers;
+};
+
+/// Like build_road_schedules (identical schedules for an all-through
+/// flow) but honouring per-vehicle exits and recording which vehicle
+/// carries each contact — the contact plan the store-and-forward
+/// collection pass routes data over.
+[[nodiscard]] RoadContactPlan build_road_contact_plan(
     const std::vector<double>& positions_m, double range_m,
     const std::vector<VehicleEntry>& vehicles);
 

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+/// \file routing.hpp
+/// Store-and-forward routing configuration and network-level outcomes.
+///
+/// With a RoutingSpec attached to a fleet, detected contacts stop being
+/// mere probing events: the data a node sensed since its last service is
+/// handed to the visiting vehicle (bounded by link rate × residual
+/// contact time), ferried down the road, and — for vehicles that exit
+/// before the sink — deposited at a relay node for a later carrier. The
+/// collection pass that executes this plan is deterministic and
+/// single-threaded over the probed sessions of the sharded engine, so
+/// the fleet output stays byte-identical at any shard/thread count (the
+/// property the multihop goldens and
+/// property_multihop_determinism_test pin).
+
+namespace snipr::deploy {
+
+/// What a full node store does with newly sensed data.
+enum class DropPolicy : std::uint8_t {
+  /// Drop the incoming (newest) data; the buffered backlog is preserved.
+  kTailDrop,
+  /// Evict the oldest buffered parcels to make room for fresh data.
+  kOldestFirst,
+};
+
+/// How a node decides whether to hand buffered data to a vehicle (and a
+/// partial vehicle whether to deposit its cargo at a node).
+enum class ForwardingPolicy : std::uint8_t {
+  /// Greedy-to-sink baseline: hand data only to a vehicle that will
+  /// itself reach the sink; carriers never deposit. Degenerates to pure
+  /// two-hop (node → through vehicle → sink) collection.
+  kGreedySink,
+  /// Wang-style time-constraint/cost metric (arXiv:1606.08936): every
+  /// custodian carries a cost-to-sink estimate — hops × est_hop_delay_s
+  /// for a node, residual travel time plus interpolated relay cost plus
+  /// a handoff-risk penalty for a vehicle — and data flows toward the
+  /// cheaper custodian at each contact. Parcels carry a delivery
+  /// deadline (generation + parcel_ttl_s) and expire in place.
+  kTimeCost,
+};
+
+const char* to_string(DropPolicy policy) noexcept;
+const char* to_string(ForwardingPolicy policy) noexcept;
+
+/// Store-and-forward configuration for a fleet. Attached to a FleetSpec
+/// it upgrades the outcome to `snipr.fleet.v2` (a "network" section);
+/// absent, the fleet runs the classic N-independent-probing experiment
+/// and emits v1 unchanged.
+struct RoutingSpec {
+  /// Node index whose position hosts the collection sink (an always-on
+  /// base station co-located with that node, which therefore generates
+  /// no data of its own). Unset = a virtual sink just past the far end
+  /// of the road, so every node generates and every through vehicle
+  /// delivers on exit.
+  std::optional<std::size_t> sink_node;
+
+  /// Capacity of each node's sensed-data store, bytes. 0 = unlimited.
+  double node_store_bytes{0.0};
+  /// Capacity of each vehicle's cargo hold, bytes. 0 = unlimited.
+  double vehicle_store_bytes{0.0};
+
+  DropPolicy drop_policy{DropPolicy::kTailDrop};
+  ForwardingPolicy forwarding{ForwardingPolicy::kGreedySink};
+
+  /// Delivery deadline per parcel, seconds from generation; 0 = none.
+  /// Only kTimeCost enforces it (greedy has no deadline notion).
+  double parcel_ttl_s{0.0};
+
+  /// kTimeCost estimate of one relay hop's delay (node dwell + next
+  /// carrier wait), seconds.
+  double est_hop_delay_s{600.0};
+  /// kTimeCost penalty added to a non-through vehicle's cost estimate:
+  /// its cargo must survive one more custody handoff, which risks drops
+  /// and adds dwell.
+  double handoff_risk_s{300.0};
+};
+
+/// Per-node rows of the network outcome.
+struct NodeNetworkOutcome {
+  std::size_t node_index{0};
+  double generated_bytes{0.0};  ///< sensed into the store
+  /// Bytes generated *here* that reached the sink (any path).
+  double origin_delivered_bytes{0.0};
+  double dropped_bytes{0.0};  ///< store overflow (either policy)
+  double pickup_bytes{0.0};   ///< handed to vehicles here
+  double deposit_bytes{0.0};  ///< deposited by vehicles here
+  double max_store_bytes{0.0};
+  /// Time-weighted mean store occupancy over the horizon (exact
+  /// piecewise-linear integral between custody events).
+  double mean_store_bytes{0.0};
+  /// Learned hops-to-sink (vehicle-beaconed min; 0 = sink itself,
+  /// 255 = never learned).
+  std::uint8_t hops_to_sink{255};
+};
+
+/// Network-level outcome of the collection pass: the Fig. 1 questions —
+/// how much sensed data reached the sink, how stale, over how many hops,
+/// and what the buffers did — that N independent probing outcomes
+/// cannot answer.
+struct NetworkOutcome {
+  double generated_bytes{0.0};
+  double delivered_bytes{0.0};
+  /// delivered / generated (0 when nothing was generated).
+  double delivery_ratio{0.0};
+
+  /// End-to-end latency (generation → sink arrival) over delivered
+  /// bytes, byte-weighted, seconds.
+  double latency_mean_s{0.0};
+  double latency_p50_s{0.0};
+  double latency_p90_s{0.0};
+  double latency_p99_s{0.0};
+
+  /// Custody transfers per delivered byte (byte-weighted).
+  double mean_hops{0.0};
+  std::size_t max_hops{0};
+
+  std::size_t pickups{0};     ///< node → vehicle transfers
+  std::size_t deposits{0};    ///< vehicle → node transfers
+  std::size_t deliveries{0};  ///< vehicle → sink transfers
+  double pickup_bytes{0.0};
+  double deposit_bytes{0.0};
+
+  /// Byte conservation: generated == delivered + dropped + expired +
+  /// lost_in_transit + residual (checked by the tests).
+  double dropped_bytes{0.0};  ///< node-store overflow
+  double expired_bytes{0.0};  ///< kTimeCost TTL expiry
+  /// Still aboard vehicles that exited before the sink at horizon end.
+  double lost_in_transit_bytes{0.0};
+  /// Still buffered at nodes or aboard en-route vehicles at horizon end.
+  double residual_bytes{0.0};
+
+  std::vector<NodeNetworkOutcome> nodes;
+};
+
+}  // namespace snipr::deploy

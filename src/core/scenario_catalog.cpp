@@ -285,15 +285,14 @@ std::vector<CatalogEntry> build_entries() {
   // 14. The paper's Fig. 1 network at deployment scale: 1024 road-side
   // nodes spread along 300 km of highway, one diurnal commuter flow.
   {
-    auto fleet = std::make_shared<deploy::FleetSpec>();
-    fleet->nodes = 1024;
-    fleet->spacing_m = 300.0;
-    fleet->range_m = 10.0;
-    fleet->speed_mean_mps = 10.0;
-    fleet->speed_stddev_mps = 1.5;
-    fleet->speed_min_mps = 2.0;
-    fleet->strategy = Strategy::kSnipRh;
-    fleet->zeta_target_s = 16.0;
+    deploy::RoadWorkload road;
+    road.spacing_m = 300.0;
+    road.range_m = 10.0;
+    road.speed_mean_mps = 10.0;
+    road.speed_stddev_mps = 1.5;
+    road.speed_min_mps = 2.0;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(1024, road, Strategy::kSnipRh, 16.0));
     CatalogEntry entry = make_entry(
         "fleet-highway-1k",
         "1024-node highway fleet, shared roadside flow, SNIP-RH per node",
@@ -307,16 +306,15 @@ std::vector<CatalogEntry> build_entries() {
   // adaptive learner exercised at fleet scale.
   {
     RoadsideScenario sc = multi_peak_urban_scenario();
-    auto fleet = std::make_shared<deploy::FleetSpec>();
-    fleet->nodes = 256;
-    fleet->spacing_m = 120.0;
-    fleet->range_m = 12.0;
+    deploy::RoadWorkload road;
+    road.spacing_m = 120.0;
+    road.range_m = 12.0;
+    road.speed_mean_mps = 8.0;
+    road.speed_stddev_mps = 2.0;
+    road.speed_min_mps = 1.5;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(256, road, Strategy::kAdaptive, 16.0));
     fleet->flow_profile = sc.profile;
-    fleet->speed_mean_mps = 8.0;
-    fleet->speed_stddev_mps = 2.0;
-    fleet->speed_min_mps = 1.5;
-    fleet->strategy = Strategy::kAdaptive;
-    fleet->zeta_target_s = 16.0;
     CatalogEntry entry = make_entry(
         "fleet-urban-grid",
         "256-node urban grid on the 48-slot multi-peak flow, adaptive nodes",
@@ -329,16 +327,15 @@ std::vector<CatalogEntry> build_entries() {
   // sparse traffic with lingering contacts, planned SNIP-OPT duties.
   {
     RoadsideScenario sc = sparse_rural_scenario();
-    auto fleet = std::make_shared<deploy::FleetSpec>();
-    fleet->nodes = 96;
-    fleet->spacing_m = 1000.0;
-    fleet->range_m = 20.0;
+    deploy::RoadWorkload road;
+    road.spacing_m = 1000.0;
+    road.range_m = 20.0;
+    road.speed_mean_mps = 15.0;
+    road.speed_stddev_mps = 3.0;
+    road.speed_min_mps = 4.0;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(96, road, Strategy::kSnipOpt, 8.0));
     fleet->flow_profile = sc.profile;
-    fleet->speed_mean_mps = 15.0;
-    fleet->speed_stddev_mps = 3.0;
-    fleet->speed_min_mps = 4.0;
-    fleet->strategy = Strategy::kSnipOpt;
-    fleet->zeta_target_s = 8.0;
     CatalogEntry entry = make_entry(
         "fleet-rural-sparse",
         "96-node rural route, 1 km spacing, sparse slow flow, SNIP-OPT",
@@ -354,25 +351,89 @@ std::vector<CatalogEntry> build_entries() {
   // unlike the shared-flow fleets above.
   {
     RoadsideScenario sc = multi_peak_urban_scenario();
-    auto fleet = std::make_shared<deploy::FleetSpec>();
-    fleet->nodes = 128;
-    fleet->flow_profile = sc.profile;  // tiling period / epoch source
-    fleet->strategy = Strategy::kAdaptive;
-    fleet->zeta_target_s = 16.0;
-    fleet->trace = "synthetic-metro-drift";
-    fleet->trace_stagger_s = 270.0;
-    fleet->trace_jitter_stddev_s = 20.0;
+    deploy::TraceWorkload trace;
+    trace.trace = "synthetic-metro-drift";
+    trace.stagger_s = 270.0;
+    trace.jitter_stddev_s = 20.0;
     // Pinned entries always resolve file-backed traces against the
     // compiled-in corpus (a no-op for this generator-backed trace, but
     // the template every future catalog fleet must follow): an ad-hoc
     // $SNIPR_TRACE_DATA_DIR must never swap the corpus behind a
     // golden-pinned name.
-    fleet->trace_data_dir = trace::TraceCatalog::compiled_data_dir();
+    trace.data_dir = trace::TraceCatalog::compiled_data_dir();
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::trace_replay(128, std::move(trace),
+                                        Strategy::kAdaptive, 16.0));
+    fleet->flow_profile = sc.profile;  // tiling period / epoch source
     CatalogEntry entry = make_entry(
         "fleet-trace-metro",
         "128 nodes, each replaying its own slice of the drifting metro "
         "trace",
         std::move(sc), {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // --- Multi-hop store-and-forward entries (snipr.fleet.v2 goldens).
+
+  // 18. Greedy-to-sink baseline: a through-flow highway stretch feeding
+  // a virtual sink past the last node, tail-drop stores sized to bite
+  // under the rush-hour backlog. Pure two-hop collection — the control
+  // against which the relay entry below earns its keep.
+  {
+    deploy::RoadWorkload road;
+    road.spacing_m = 300.0;
+    road.range_m = 10.0;
+    road.speed_mean_mps = 10.0;
+    road.speed_stddev_mps = 1.5;
+    road.speed_min_mps = 2.0;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(64, road, Strategy::kSnipRh, 16.0));
+    deploy::RoutingSpec routing;
+    routing.node_store_bytes = 4096.0;
+    routing.drop_policy = deploy::DropPolicy::kTailDrop;
+    routing.forwarding = deploy::ForwardingPolicy::kGreedySink;
+    fleet->routing = routing;
+    CatalogEntry entry = make_entry(
+        "fleet-multihop-highway",
+        "64-node highway collection to a road-end sink, greedy-to-sink "
+        "forwarding, 4 KiB tail-drop stores",
+        RoadsideScenario{}, {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 19. Relay chains under churn: 40% of vehicles exit early, so cargo
+  // must be handed off at relay nodes; the Wang-style time-cost metric
+  // decides every custody transfer, oldest-first stores shed stale
+  // backlog first, and a 6-hour TTL expires what lingers.
+  {
+    RoadsideScenario sc = sparse_rural_scenario();
+    deploy::RoadWorkload road;
+    road.spacing_m = 1000.0;
+    road.range_m = 20.0;
+    road.speed_mean_mps = 15.0;
+    road.speed_stddev_mps = 3.0;
+    road.speed_min_mps = 4.0;
+    road.through_fraction = 0.6;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(96, road, Strategy::kSnipOpt, 8.0));
+    fleet->flow_profile = sc.profile;
+    deploy::RoutingSpec routing;
+    routing.sink_node = 95;
+    routing.node_store_bytes = 16384.0;
+    routing.vehicle_store_bytes = 65536.0;
+    routing.drop_policy = deploy::DropPolicy::kOldestFirst;
+    routing.forwarding = deploy::ForwardingPolicy::kTimeCost;
+    routing.parcel_ttl_s = 6.0 * 3600.0;
+    routing.est_hop_delay_s = 900.0;
+    routing.handoff_risk_s = 450.0;
+    fleet->routing = routing;
+    CatalogEntry entry = make_entry(
+        "fleet-multihop-relay",
+        "96-node rural relay network, 40% early-exit carriers, time-cost "
+        "forwarding with oldest-first stores and a 6 h TTL",
+        std::move(sc), {8.0});
     entry.fleet = std::move(fleet);
     entries.push_back(std::move(entry));
   }

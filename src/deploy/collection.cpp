@@ -1,0 +1,438 @@
+#include "snipr/deploy/collection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "snipr/node/data_buffer.hpp"
+
+namespace snipr::deploy {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Learned-hops sentinel: "no vehicle has beaconed a route yet".
+constexpr std::uint8_t kUnknownHops = 255;
+/// Minimum transfer unit: a session whose bandwidth budget cannot move
+/// one whole byte moves nothing (the "contact too short" edge — the
+/// fluid model would otherwise happily ship 10^-7 bytes).
+constexpr double kMinTransferBytes = 1.0;
+
+/// One byte-weighted uniform latency segment: `bytes` of data whose
+/// end-to-end latency is uniformly distributed over [lo_s, hi_s] (the
+/// fluid image of a parcel's generation interval at its delivery time).
+struct LatencySegment {
+  double lo_s;
+  double hi_s;
+  double bytes;
+};
+
+/// Exact quantile of the piecewise-uniform mixture the segments form.
+/// Sweeps segment endpoints in time order, accumulating mass at the
+/// current total density, and interpolates inside the interval where the
+/// target mass is crossed.
+double mixture_quantile(std::vector<LatencySegment>& segments, double q) {
+  if (segments.empty()) return 0.0;
+  double total = 0.0;
+  for (const LatencySegment& s : segments) total += s.bytes;
+  if (total <= 0.0) return 0.0;
+  const double target = q * total;
+
+  struct Edge {
+    double t;
+    double density_delta;  // bytes per second of latency
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * segments.size());
+  for (const LatencySegment& s : segments) {
+    if (s.hi_s - s.lo_s > 1e-12) {
+      const double density = s.bytes / (s.hi_s - s.lo_s);
+      edges.push_back(Edge{s.lo_s, density});
+      edges.push_back(Edge{s.hi_s, -density});
+    } else {
+      // Degenerate (near-instant generation): a point mass, widened by
+      // an epsilon so the sweep stays piecewise linear.
+      const double width = 1e-12;
+      const double density = s.bytes / width;
+      edges.push_back(Edge{s.lo_s, density});
+      edges.push_back(Edge{s.lo_s + width, -density});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.t < b.t;
+  });
+
+  double mass = 0.0;
+  double density = 0.0;
+  for (std::size_t i = 0; i + 1 <= edges.size(); ++i) {
+    density += edges[i].density_delta;
+    if (i + 1 == edges.size()) break;
+    const double span = edges[i + 1].t - edges[i].t;
+    const double gained = density * span;
+    if (mass + gained >= target && density > 0.0) {
+      return edges[i].t + (target - mass) / density;
+    }
+    mass += gained;
+  }
+  return edges.back().t;  // q == 1 (or rounding): the latest latency
+}
+
+struct VehicleState {
+  std::vector<node::Parcel> cargo;
+  double cargo_bytes{0.0};
+};
+
+struct EventRef {
+  double t_s;
+  /// 0 = probed session, 1 = sink pass; sessions at the same instant
+  /// run before the delivery window opens.
+  int kind;
+  std::uint32_t node;
+  std::uint32_t vehicle;
+  double departure_s;  // sessions: carrier leaves range; sink: window end
+};
+
+double cargo_sum(const std::vector<node::Parcel>& cargo) {
+  double sum = 0.0;
+  for (const node::Parcel& p : cargo) sum += p.bytes;
+  return sum;
+}
+
+double expire_cargo(std::vector<node::Parcel>& cargo, double t_s) {
+  double expired = 0.0;
+  std::erase_if(cargo, [&](const node::Parcel& p) {
+    if (p.deadline_s < t_s) {
+      expired += p.bytes;
+      return true;
+    }
+    return false;
+  });
+  return expired;
+}
+
+}  // namespace
+
+double sink_position_m(const CollectionInput& input) {
+  if (input.routing.sink_node.has_value()) {
+    const std::size_t sink = *input.routing.sink_node;
+    if (sink >= input.positions_m.size()) {
+      throw std::invalid_argument(
+          "run_collection: sink_node outside the fleet");
+    }
+    return input.positions_m[sink];
+  }
+  double road_end = 0.0;
+  for (const double x : input.positions_m) road_end = std::max(road_end, x);
+  return road_end + input.range_m;
+}
+
+NetworkOutcome run_collection(const CollectionInput& input) {
+  if (input.positions_m.empty()) {
+    throw std::invalid_argument("run_collection: no nodes");
+  }
+  if (!(input.data_rate_bps > 0.0)) {
+    throw std::invalid_argument("run_collection: data rate must be > 0");
+  }
+  const RoutingSpec& routing = input.routing;
+  const double sink_pos = sink_position_m(input);
+  const std::size_t n = input.positions_m.size();
+  const bool has_ttl = routing.forwarding == ForwardingPolicy::kTimeCost &&
+                       routing.parcel_ttl_s > 0.0;
+
+  const double node_cap =
+      routing.node_store_bytes > 0.0 ? routing.node_store_bytes : kInf;
+  const double vehicle_cap =
+      routing.vehicle_store_bytes > 0.0 ? routing.vehicle_store_bytes : kInf;
+  const node::StoreDropPolicy drop_policy =
+      routing.drop_policy == DropPolicy::kOldestFirst
+          ? node::StoreDropPolicy::kOldestFirst
+          : node::StoreDropPolicy::kTailDrop;
+
+  std::vector<node::StoreBuffer> stores;
+  stores.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stores.emplace_back(node_cap, drop_policy);
+  }
+  std::vector<double> last_accrue_s(n, 0.0);
+  std::vector<std::uint8_t> hops_to_sink(n, kUnknownHops);
+  std::vector<double> generated(n, 0.0);
+  std::vector<VehicleState> vehicle_states(input.vehicles.size());
+
+  NetworkOutcome out;
+  out.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.nodes[i].node_index = i;
+
+  // The co-located sink node (if any) hosts the base station: it senses
+  // no data of its own and its sessions carry no transfers (delivery is
+  // the always-on sink-pass events below, not the duty-cycled probe).
+  const std::size_t sink_node =
+      routing.sink_node.has_value() ? *routing.sink_node : n;
+  if (sink_node < n) hops_to_sink[sink_node] = 0;
+
+  auto vehicle_reaches_sink = [&](std::uint32_t k) {
+    return input.vehicles[k].exit_m >= sink_pos;
+  };
+
+  // --- Build the deterministic event list: probed sessions plus one
+  // sink pass per sink-reaching vehicle.
+  std::vector<EventRef> events;
+  events.reserve(input.sessions.size() + input.vehicles.size());
+  for (const CollectionSession& s : input.sessions) {
+    if (s.node >= n || s.vehicle >= input.vehicles.size()) {
+      throw std::invalid_argument("run_collection: session out of range");
+    }
+    events.push_back(
+        EventRef{s.probe_time_s, 0, s.node, s.vehicle, s.departure_s});
+  }
+  for (std::uint32_t k = 0; k < input.vehicles.size(); ++k) {
+    if (!vehicle_reaches_sink(k)) continue;
+    const VehicleEntry& v = input.vehicles[k];
+    const double reach_s = v.entry.to_seconds() + sink_pos / v.speed_mps;
+    if (reach_s >= input.horizon_s) continue;
+    const double window_s = 2.0 * input.range_m / v.speed_mps;
+    events.push_back(EventRef{reach_s, 1, static_cast<std::uint32_t>(n), k,
+                              reach_s + window_s});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const EventRef& a, const EventRef& b) {
+              if (a.t_s != b.t_s) return a.t_s < b.t_s;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.node != b.node) return a.node < b.node;
+              return a.vehicle < b.vehicle;
+            });
+
+  // kTimeCost scores both custodians by *estimated time for the data to
+  // reach the sink from now*, at the current carrier's speed (the one
+  // speed sample the session actually observed):
+  //   node i:     hops_i x H  (waiting through the relay chain)
+  //               + ferry time from x_i to the sink;
+  //   through k:  ferry time from here to the sink — always cheaper
+  //               than its node by hops x H, so through carriers always
+  //               collect;
+  //   partial k:  ferry to the best known relay j before its exit, one
+  //               handoff (risk penalty), then j's chain. The ferry legs
+  //               telescope to sink travel from here, leaving
+  //               travel + risk + min_{j in (x, exit]} hops_j x H
+  //               (255 x H when no beacon has reached that stretch —
+  //               the metric degrades to greedy until the hop field
+  //               seeds, a conservative cold start).
+  auto node_cost_s = [&](std::uint32_t i, double speed_mps) {
+    return static_cast<double>(hops_to_sink[i]) * routing.est_hop_delay_s +
+           std::max(0.0, sink_pos - input.positions_m[i]) / speed_mps;
+  };
+  auto vehicle_cost_s = [&](std::uint32_t k, double x_now) {
+    const VehicleEntry& v = input.vehicles[k];
+    const double ferry = std::max(0.0, sink_pos - x_now) / v.speed_mps;
+    if (vehicle_reaches_sink(k)) return ferry;
+    std::uint8_t best = kUnknownHops;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (input.positions_m[j] <= x_now) continue;
+      if (input.positions_m[j] > v.exit_m) continue;
+      best = std::min(best, hops_to_sink[j]);
+    }
+    return ferry + static_cast<double>(best) * routing.est_hop_delay_s +
+           routing.handoff_risk_s;
+  };
+
+  std::vector<LatencySegment> latency;
+  std::vector<node::Parcel> scratch;
+
+  for (const EventRef& ev : events) {
+    if (ev.kind == 1) {
+      // --- Sink pass: the always-on base station drains the carrier,
+      // bounded by link rate over the pass window.
+      VehicleState& vs = vehicle_states[ev.vehicle];
+      if (has_ttl) out.expired_bytes += expire_cargo(vs.cargo, ev.t_s);
+      double budget = input.data_rate_bps * (ev.departure_s - ev.t_s);
+      if (budget < kMinTransferBytes || vs.cargo.empty()) continue;
+      std::size_t delivered_whole = 0;
+      bool any = false;
+      for (node::Parcel& p : vs.cargo) {
+        if (budget < kMinTransferBytes) break;
+        const double grant = std::min(p.bytes, budget);
+        const double fraction = grant / p.bytes;
+        const double gen_hi =
+            p.gen_start_s + (p.gen_end_s - p.gen_start_s) * fraction;
+        latency.push_back(
+            LatencySegment{ev.t_s - gen_hi, ev.t_s - p.gen_start_s, grant});
+        const std::size_t hops = static_cast<std::size_t>(p.hops) + 1;
+        out.mean_hops += grant * static_cast<double>(hops);  // sum for now
+        out.max_hops = std::max(out.max_hops, hops);
+        out.delivered_bytes += grant;
+        out.nodes[p.origin].origin_delivered_bytes += grant;
+        budget -= grant;
+        any = true;
+        if (grant >= p.bytes) {
+          ++delivered_whole;
+        } else {
+          p.gen_start_s = gen_hi;
+          p.bytes -= grant;
+          break;
+        }
+      }
+      vs.cargo.erase(vs.cargo.begin(),
+                     vs.cargo.begin() +
+                         static_cast<std::ptrdiff_t>(delivered_whole));
+      vs.cargo_bytes = cargo_sum(vs.cargo);
+      if (any) ++out.deliveries;
+      continue;
+    }
+
+    // --- Probed session at a node.
+    const std::uint32_t i = ev.node;
+    const std::uint32_t k = ev.vehicle;
+    node::StoreBuffer& store = stores[i];
+    VehicleState& vs = vehicle_states[k];
+
+    // 1. Sensed fluid accrues up to the probe instant.
+    if (i != sink_node) {
+      const double t0 = last_accrue_s[i];
+      const double t1 = std::min(ev.t_s, input.horizon_s);
+      if (t1 > t0) {
+        generated[i] += input.sensing_rate_bps * (t1 - t0);
+        store.accrue(t0, t1, input.sensing_rate_bps, i,
+                     has_ttl ? routing.parcel_ttl_s : kInf);
+        last_accrue_s[i] = t1;
+      }
+    }
+    if (has_ttl) {
+      out.expired_bytes += store.expire(ev.t_s);
+      const double expired = expire_cargo(vs.cargo, ev.t_s);
+      if (expired > 0.0) {
+        out.expired_bytes += expired;
+        vs.cargo_bytes = cargo_sum(vs.cargo);
+      }
+    }
+
+    // 2. Hop beacon: the carrier announces its own cost in carriers
+    // (1 = ferries to the sink itself, 2 = needs one relay handoff),
+    // and the node min-learns it. The sink node stays 0.
+    if (i != sink_node) {
+      const std::uint8_t beacon = vehicle_reaches_sink(k) ? 1 : 2;
+      hops_to_sink[i] = std::min(hops_to_sink[i], beacon);
+    }
+
+    // 3. Bandwidth budget for the residual contact.
+    double budget = input.data_rate_bps * (ev.departure_s - ev.t_s);
+    if (budget < kMinTransferBytes) continue;
+
+    const double x = input.positions_m[i];
+    const bool node_upstream = x < sink_pos;
+
+    // 4. Deposit (vehicle → node), then pickup (node → vehicle), the
+    // two sharing the session budget. The sink node accepts neither —
+    // its base station drains carriers in the sink-pass events.
+    if (i != sink_node && !vs.cargo.empty() &&
+        routing.forwarding == ForwardingPolicy::kTimeCost &&
+        node_cost_s(i, input.vehicles[k].speed_mps) <
+            vehicle_cost_s(k, x)) {
+      const double before = vs.cargo_bytes;
+      const double accepted = store.deposit(ev.t_s, vs.cargo, budget);
+      if (accepted > 0.0) {
+        ++out.deposits;
+        out.deposit_bytes += accepted;
+        out.nodes[i].deposit_bytes += accepted;
+        vs.cargo_bytes = before - accepted;
+        budget -= accepted;
+      }
+    }
+
+    if (i != sink_node && node_upstream && budget >= kMinTransferBytes) {
+      bool want = false;
+      if (routing.forwarding == ForwardingPolicy::kGreedySink) {
+        want = vehicle_reaches_sink(k);
+      } else {
+        want = vehicle_cost_s(k, x) <
+               node_cost_s(i, input.vehicles[k].speed_mps);
+      }
+      const double free = vehicle_cap - vs.cargo_bytes;
+      if (want && free >= kMinTransferBytes) {
+        scratch.clear();
+        const double taken =
+            store.take(ev.t_s, std::min(budget, free), scratch);
+        if (taken > 0.0) {
+          for (node::Parcel& p : scratch) {
+            ++p.hops;
+            vs.cargo.push_back(p);
+          }
+          vs.cargo_bytes += taken;
+          ++out.pickups;
+          out.pickup_bytes += taken;
+          out.nodes[i].pickup_bytes += taken;
+        }
+      }
+    }
+  }
+
+  // --- Horizon close-out: final accrual, occupancy statistics, and the
+  // byte-conservation classification of whatever never arrived.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != sink_node && input.horizon_s > last_accrue_s[i]) {
+      generated[i] +=
+          input.sensing_rate_bps * (input.horizon_s - last_accrue_s[i]);
+      stores[i].accrue(last_accrue_s[i], input.horizon_s,
+                       input.sensing_rate_bps, static_cast<std::uint32_t>(i),
+                       has_ttl ? routing.parcel_ttl_s : kInf);
+    }
+    stores[i].advance(input.horizon_s);
+    out.residual_bytes += stores[i].level();
+    out.generated_bytes += generated[i];
+    out.dropped_bytes += stores[i].dropped_bytes();
+
+    NodeNetworkOutcome& row = out.nodes[i];
+    row.generated_bytes = generated[i];
+    row.dropped_bytes = stores[i].dropped_bytes();
+    row.max_store_bytes = stores[i].max_level();
+    row.mean_store_bytes = stores[i].mean_level(input.horizon_s);
+    row.hops_to_sink = hops_to_sink[i];
+  }
+  for (std::uint32_t k = 0; k < vehicle_states.size(); ++k) {
+    const double aboard = cargo_sum(vehicle_states[k].cargo);
+    if (aboard <= 0.0) continue;
+    if (vehicle_reaches_sink(k)) {
+      out.residual_bytes += aboard;  // en route (or past an overrun pass)
+    } else {
+      out.lost_in_transit_bytes += aboard;  // exited the road carrying it
+    }
+  }
+
+  out.delivery_ratio =
+      out.generated_bytes > 0.0 ? out.delivered_bytes / out.generated_bytes
+                                : 0.0;
+  if (out.delivered_bytes > 0.0) {
+    out.mean_hops /= out.delivered_bytes;
+    double latency_mass = 0.0;
+    for (const LatencySegment& s : latency) {
+      latency_mass += s.bytes * (s.lo_s + s.hi_s) / 2.0;
+    }
+    out.latency_mean_s = latency_mass / out.delivered_bytes;
+    out.latency_p50_s = mixture_quantile(latency, 0.50);
+    out.latency_p90_s = mixture_quantile(latency, 0.90);
+    out.latency_p99_s = mixture_quantile(latency, 0.99);
+  } else {
+    out.mean_hops = 0.0;
+  }
+  return out;
+}
+
+const char* to_string(DropPolicy policy) noexcept {
+  switch (policy) {
+    case DropPolicy::kTailDrop:
+      return "tail_drop";
+    case DropPolicy::kOldestFirst:
+      return "oldest_first";
+  }
+  return "unknown";
+}
+
+const char* to_string(ForwardingPolicy policy) noexcept {
+  switch (policy) {
+    case ForwardingPolicy::kGreedySink:
+      return "greedy_sink";
+    case ForwardingPolicy::kTimeCost:
+      return "time_cost";
+  }
+  return "unknown";
+}
+
+}  // namespace snipr::deploy

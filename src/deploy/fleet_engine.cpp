@@ -7,6 +7,7 @@
 #include "snipr/contact/trace_replay.hpp"
 #include "snipr/core/json_writer.hpp"
 #include "snipr/core/thread_pool.hpp"
+#include "snipr/deploy/collection.hpp"
 #include "snipr/deploy/road_contacts.hpp"
 #include "snipr/node/mobile_node.hpp"
 #include "snipr/radio/channel.hpp"
@@ -18,12 +19,15 @@ namespace {
 
 /// Simulate nodes [begin, end) in one Simulator and write their outcomes
 /// into the matching slots of `out` (disjoint across shards, so shard
-/// workers never touch the same slot).
+/// workers never touch the same slot). When `probed` is non-null, each
+/// node's probed-contact log is exported the same way — the input of the
+/// store-and-forward collection pass.
 void run_shard(std::vector<contact::ContactSchedule>& schedules,
                std::vector<sim::Rng>& node_rngs,
                const SchedulerFactory& make_scheduler,
                const DeploymentConfig& config, std::size_t begin,
-               std::size_t end, std::vector<NodeOutcome>& out) {
+               std::size_t end, std::vector<NodeOutcome>& out,
+               std::vector<std::vector<node::ProbedContactRecord>>* probed) {
   sim::Simulator simulator{config.seed};
 
   struct NodeWorld {
@@ -63,6 +67,7 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
     const NodeWorld& w = worlds[i - begin];
     out[i] = summarize_node(i, *w.sensor, std::string{w.scheduler->name()},
                             w.total_contacts);
+    if (probed != nullptr) (*probed)[i] = w.sensor->probed_contacts();
   }
 }
 
@@ -72,22 +77,23 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
 /// before any partitioning, so the schedules — like everything else —
 /// are independent of the shard and thread counts.
 std::vector<contact::ContactSchedule> build_trace_schedules(
-    const FleetSpec& spec, sim::Duration horizon, sim::Rng& root) {
+    const TraceWorkload& workload, std::size_t nodes, sim::Duration horizon,
+    sim::Rng& root) {
   const trace::TraceEntry& entry =
-      trace::TraceCatalog::instance().at(spec.trace);
+      trace::TraceCatalog::instance().at(workload.trace);
   const std::vector<contact::Contact> base =
-      trace::TraceCatalog::load(entry, spec.trace_data_dir);
+      trace::TraceCatalog::load(entry, workload.data_dir);
   // Tile at the trace's own recorded epoch — the flow profile's epoch
   // governs the horizon and the nodes' slot grids, not the replay.
   const sim::Duration period = entry.epoch;
   std::vector<contact::ContactSchedule> schedules;
-  schedules.reserve(spec.nodes);
-  for (std::size_t i = 0; i < spec.nodes; ++i) {
+  schedules.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
     contact::TraceReplayConfig config;
     config.period = period;
-    config.offset = sim::Duration::seconds(spec.trace_stagger_s *
-                                           static_cast<double>(i));
-    config.jitter_stddev_s = spec.trace_jitter_stddev_s;
+    config.offset =
+        sim::Duration::seconds(workload.stagger_s * static_cast<double>(i));
+    config.jitter_stddev_s = workload.jitter_stddev_s;
     contact::TraceReplayProcess process{base, config};
     sim::Rng rng = root.fork();
     schedules.emplace_back(contact::materialize(process, horizon, rng));
@@ -97,9 +103,10 @@ std::vector<contact::ContactSchedule> build_trace_schedules(
 
 }  // namespace
 
-DeploymentOutcome FleetEngine::run(
+DeploymentOutcome FleetEngine::run_with_probes(
     std::vector<contact::ContactSchedule> schedules,
-    const SchedulerFactory& make_scheduler, const FleetConfig& config) const {
+    const SchedulerFactory& make_scheduler, const FleetConfig& config,
+    std::vector<std::vector<node::ProbedContactRecord>>* probed) const {
   if (schedules.empty()) {
     throw std::invalid_argument("FleetEngine: no schedules");
   }
@@ -128,6 +135,7 @@ DeploymentOutcome FleetEngine::run(
 
   DeploymentOutcome outcome;
   outcome.nodes.resize(n);
+  if (probed != nullptr) probed->resize(n);
   const core::ThreadPool pool{
       std::min(config.threads == 0 ? core::ThreadPool::hardware_threads()
                                    : config.threads,
@@ -137,11 +145,18 @@ DeploymentOutcome FleetEngine::run(
     const std::size_t begin = n * s / shards;
     const std::size_t end = n * (s + 1) / shards;
     run_shard(schedules, node_rngs, make_scheduler, config.deployment, begin,
-              end, outcome.nodes);
+              end, outcome.nodes, probed);
   });
 
   finalize_outcome(outcome);
   return outcome;
+}
+
+DeploymentOutcome FleetEngine::run(
+    std::vector<contact::ContactSchedule> schedules,
+    const SchedulerFactory& make_scheduler, const FleetConfig& config) const {
+  return run_with_probes(std::move(schedules), make_scheduler, config,
+                         nullptr);
 }
 
 DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
@@ -154,8 +169,8 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
   // The determinism contract, shared by both workload kinds: reserve the
   // per-node forks first (the schedules overload will fork the identical
   // streams from the same seed), so every auxiliary stream drawn from
-  // the advanced root — the shared vehicle flow, or the per-node trace
-  // replay streams — overlaps no node stream.
+  // the advanced root — the shared vehicle flow, the exit draws, or the
+  // per-node trace replay streams — overlaps no node stream.
   sim::Rng root{config.deployment.seed};
   for (std::size_t i = 0; i < spec.nodes; ++i) (void)root.fork();
   const sim::Duration horizon =
@@ -167,36 +182,110 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
                                 phi_max_s);
   };
 
-  if (!spec.trace.empty()) {
-    return run(build_trace_schedules(spec, horizon, root), factory, config);
+  if (const TraceWorkload* trace = spec.trace_workload()) {
+    if (spec.routing.has_value()) {
+      throw std::invalid_argument(
+          "FleetEngine: store-and-forward routing needs a road workload "
+          "(a trace replay has no vehicle identity to ferry data with)");
+    }
+    return run(build_trace_schedules(*trace, spec.nodes, horizon, root),
+               factory, config);
   }
-  if (spec.spacing_m <= 0.0 || spec.range_m <= 0.0) {
+
+  const RoadWorkload& road = *spec.road_workload();
+  if (road.spacing_m <= 0.0 || road.range_m <= 0.0) {
     throw std::invalid_argument(
         "FleetEngine: spacing and range must be positive");
   }
 
   VehicleFlow flow;
   flow.profile = spec.flow_profile;
-  flow.jitter = spec.jitter;
-  if (spec.speed_stddev_mps > 0.0) {
+  flow.jitter = road.jitter;
+  if (road.speed_stddev_mps > 0.0) {
     flow.speed_mps = std::make_unique<sim::TruncatedNormalDistribution>(
-        spec.speed_mean_mps, spec.speed_stddev_mps, spec.speed_min_mps);
+        road.speed_mean_mps, road.speed_stddev_mps, road.speed_min_mps);
   } else {
     flow.speed_mps =
-        std::make_unique<sim::FixedDistribution>(spec.speed_mean_mps);
+        std::make_unique<sim::FixedDistribution>(road.speed_mean_mps);
   }
-  const std::vector<VehicleEntry> vehicles =
+  std::vector<VehicleEntry> vehicles =
       materialize_vehicles(flow, horizon, root);
 
   std::vector<double> positions;
   positions.reserve(spec.nodes);
   for (std::size_t i = 0; i < spec.nodes; ++i) {
-    positions.push_back(spec.first_position_m +
-                        spec.spacing_m * static_cast<double>(i));
+    positions.push_back(road.first_position_m +
+                        road.spacing_m * static_cast<double>(i));
   }
-  std::vector<contact::ContactSchedule> schedules =
-      build_road_schedules(positions, spec.range_m, vehicles);
-  return run(std::move(schedules), factory, config);
+  const double road_end = positions.back() + road.range_m;
+
+  // Early exits, drawn from the root *after* the flow so a pure
+  // through-flow (through_fraction == 1, no draws) leaves every stream —
+  // and therefore every existing golden — byte-identical.
+  if (road.through_fraction < 1.0) {
+    if (road.through_fraction < 0.0) {
+      throw std::invalid_argument(
+          "FleetEngine: through_fraction must be in [0, 1]");
+    }
+    for (VehicleEntry& v : vehicles) {
+      if (!root.bernoulli(road.through_fraction)) {
+        v.exit_m = root.uniform(0.0, road_end);
+      }
+    }
+  }
+
+  if (!spec.routing.has_value()) {
+    return run(build_road_schedules(positions, road.range_m, vehicles),
+               factory, config);
+  }
+
+  // --- Store-and-forward: run the probing layer with probed-contact
+  // export, map each probed contact back to its carrier through the
+  // contact plan, and hand the sessions to the collection pass. The
+  // pass is single-threaded over shard-independent inputs, so the v2
+  // output keeps the any-shard-count byte-identity contract.
+  RoadContactPlan plan =
+      build_road_contact_plan(positions, road.range_m, vehicles);
+  std::vector<std::vector<sim::TimePoint>> arrivals(spec.nodes);
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    arrivals[i].reserve(plan.schedules[i].size());
+    for (const contact::Contact& c : plan.schedules[i].contacts()) {
+      arrivals[i].push_back(c.arrival);
+    }
+  }
+
+  std::vector<std::vector<node::ProbedContactRecord>> probed;
+  DeploymentOutcome outcome = run_with_probes(std::move(plan.schedules),
+                                              factory, config, &probed);
+
+  CollectionInput input;
+  input.routing = *spec.routing;
+  input.sensing_rate_bps = config.deployment.node.sensing_rate_bps;
+  input.data_rate_bps = config.deployment.link.data_rate_bps;
+  input.range_m = road.range_m;
+  input.positions_m = std::move(positions);
+  input.vehicles = std::move(vehicles);
+  input.horizon_s = horizon.to_seconds();
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    for (const node::ProbedContactRecord& record : probed[i]) {
+      const auto it = std::lower_bound(arrivals[i].begin(), arrivals[i].end(),
+                                       record.contact.arrival);
+      if (it == arrivals[i].end() || *it != record.contact.arrival) {
+        throw std::logic_error(
+            "FleetEngine: probed contact missing from the contact plan");
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(it - arrivals[i].begin());
+      CollectionSession session;
+      session.node = static_cast<std::uint32_t>(i);
+      session.vehicle = plan.carriers[i][idx];
+      session.probe_time_s = record.probe_time.to_seconds();
+      session.departure_s = record.contact.departure().to_seconds();
+      input.sessions.push_back(session);
+    }
+  }
+  outcome.network = run_collection(input);
+  return outcome;
 }
 
 std::string FleetEngine::to_json(const DeploymentOutcome& outcome) {
@@ -205,8 +294,11 @@ std::string FleetEngine::to_json(const DeploymentOutcome& outcome) {
   using core::json::append_uint_field;
 
   std::string out;
-  out.reserve(512 + 128 * outcome.nodes.size());
-  out += "{\"schema\":\"snipr.fleet.v1\",";
+  out.reserve(512 + (outcome.network.has_value() ? 256 : 128) *
+                        outcome.nodes.size());
+  core::json::open_document(out, outcome.network.has_value()
+                                     ? core::json::kFleetSchemaV2
+                                     : core::json::kFleetSchemaV1);
   append_uint_field(out, "nodes", outcome.nodes.size());
   append_field(out, "total_zeta_s", outcome.total_zeta_s);
   append_field(out, "total_phi_s", outcome.total_phi_s);
@@ -235,7 +327,49 @@ std::string FleetEngine::to_json(const DeploymentOutcome& outcome) {
                  /*comma=*/false);
     out += '}';
   }
-  out += "]}";
+  out += ']';
+  if (outcome.network.has_value()) {
+    const NetworkOutcome& net = *outcome.network;
+    out += ",\"network\":{";
+    append_field(out, "generated_bytes", net.generated_bytes);
+    append_field(out, "delivered_bytes", net.delivered_bytes);
+    append_field(out, "delivery_ratio", net.delivery_ratio);
+    append_field(out, "latency_mean_s", net.latency_mean_s);
+    append_field(out, "latency_p50_s", net.latency_p50_s);
+    append_field(out, "latency_p90_s", net.latency_p90_s);
+    append_field(out, "latency_p99_s", net.latency_p99_s);
+    append_field(out, "mean_hops", net.mean_hops);
+    append_uint_field(out, "max_hops", net.max_hops);
+    append_uint_field(out, "pickups", net.pickups);
+    append_uint_field(out, "deposits", net.deposits);
+    append_uint_field(out, "deliveries", net.deliveries);
+    append_field(out, "pickup_bytes", net.pickup_bytes);
+    append_field(out, "deposit_bytes", net.deposit_bytes);
+    append_field(out, "dropped_bytes", net.dropped_bytes);
+    append_field(out, "expired_bytes", net.expired_bytes);
+    append_field(out, "lost_in_transit_bytes", net.lost_in_transit_bytes);
+    append_field(out, "residual_bytes", net.residual_bytes);
+    out += "\"per_node\":[";
+    bool first_row = true;
+    for (const NodeNetworkOutcome& row : net.nodes) {
+      if (!first_row) out += ',';
+      first_row = false;
+      out += '{';
+      append_uint_field(out, "node", row.node_index);
+      append_field(out, "generated_bytes", row.generated_bytes);
+      append_field(out, "origin_delivered_bytes", row.origin_delivered_bytes);
+      append_field(out, "dropped_bytes", row.dropped_bytes);
+      append_field(out, "pickup_bytes", row.pickup_bytes);
+      append_field(out, "deposit_bytes", row.deposit_bytes);
+      append_field(out, "max_store_bytes", row.max_store_bytes);
+      append_field(out, "mean_store_bytes", row.mean_store_bytes);
+      append_uint_field(out, "hops_to_sink", row.hops_to_sink,
+                        /*comma=*/false);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += '}';
   return out;
 }
 

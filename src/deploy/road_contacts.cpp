@@ -29,7 +29,7 @@ std::vector<VehicleEntry> materialize_vehicles(const VehicleFlow& flow,
   return vehicles;
 }
 
-std::vector<contact::ContactSchedule> build_road_schedules(
+RoadContactPlan build_road_contact_plan(
     const std::vector<double>& positions_m, double range_m,
     const std::vector<VehicleEntry>& vehicles) {
   if (positions_m.empty()) {
@@ -51,39 +51,61 @@ std::vector<contact::ContactSchedule> build_road_schedules(
     }
   }
 
-  std::vector<contact::ContactSchedule> out;
-  out.reserve(positions_m.size());
+  struct Pass {
+    contact::Contact contact;
+    std::uint32_t vehicle;
+  };
+
+  RoadContactPlan plan;
+  plan.schedules.reserve(positions_m.size());
+  plan.carriers.reserve(positions_m.size());
   for (const double x : positions_m) {
-    std::vector<contact::Contact> raw;
+    std::vector<Pass> raw;
     raw.reserve(vehicles.size());
-    for (const VehicleEntry& v : vehicles) {
-      const double start_s = std::max(0.0, x - range_m) / v.speed_mps;
-      const double end_s = (x + range_m) / v.speed_mps;
+    for (std::uint32_t k = 0; k < vehicles.size(); ++k) {
+      const VehicleEntry& v = vehicles[k];
+      const double near_edge = std::max(0.0, x - range_m);
+      if (v.exit_m <= near_edge) continue;  // exits before reaching range
+      const double start_s = near_edge / v.speed_mps;
+      const double end_s = std::min(x + range_m, v.exit_m) / v.speed_mps;
       const sim::TimePoint arrival =
           v.entry + sim::Duration::seconds(start_s);
       const sim::Duration length = sim::Duration::seconds(end_s - start_s);
       if (length > sim::Duration::zero()) {
-        raw.push_back(contact::Contact{arrival, length});
+        raw.push_back(Pass{contact::Contact{arrival, length}, k});
       }
     }
-    std::sort(raw.begin(), raw.end(),
-              [](const contact::Contact& a, const contact::Contact& b) {
-                return a.arrival < b.arrival;
-              });
-    // Merge overlapping passes into single contacts.
+    std::sort(raw.begin(), raw.end(), [](const Pass& a, const Pass& b) {
+      if (a.contact.arrival != b.contact.arrival) {
+        return a.contact.arrival < b.contact.arrival;
+      }
+      return a.vehicle < b.vehicle;  // deterministic carrier on ties
+    });
+    // Merge overlapping passes into single contacts. The merged contact
+    // keeps the first pass's vehicle: the carrier a probe would reach.
     std::vector<contact::Contact> merged;
-    for (const contact::Contact& c : raw) {
+    std::vector<std::uint32_t> carriers;
+    for (const Pass& p : raw) {
+      const contact::Contact& c = p.contact;
       if (!merged.empty() && c.arrival < merged.back().departure()) {
         const sim::TimePoint span_end =
             std::max(merged.back().departure(), c.departure());
         merged.back().length = span_end - merged.back().arrival;
       } else {
         merged.push_back(c);
+        carriers.push_back(p.vehicle);
       }
     }
-    out.emplace_back(std::move(merged));
+    plan.schedules.emplace_back(std::move(merged));
+    plan.carriers.push_back(std::move(carriers));
   }
-  return out;
+  return plan;
+}
+
+std::vector<contact::ContactSchedule> build_road_schedules(
+    const std::vector<double>& positions_m, double range_m,
+    const std::vector<VehicleEntry>& vehicles) {
+  return build_road_contact_plan(positions_m, range_m, vehicles).schedules;
 }
 
 }  // namespace snipr::deploy

@@ -129,9 +129,18 @@ TEST(ScenarioCatalog, FleetEntriesCarryConsistentSpecs) {
     ++fleets;
     const deploy::FleetSpec& spec = *entry.fleet;
     EXPECT_GE(spec.nodes, 64U) << entry.name;
-    EXPECT_GT(spec.spacing_m, 0.0) << entry.name;
-    EXPECT_GT(spec.range_m, 0.0) << entry.name;
-    EXPECT_GT(spec.speed_mean_mps, 0.0) << entry.name;
+    if (const deploy::RoadWorkload* road = spec.road_workload()) {
+      EXPECT_GT(road->spacing_m, 0.0) << entry.name;
+      EXPECT_GT(road->range_m, 0.0) << entry.name;
+      EXPECT_GT(road->speed_mean_mps, 0.0) << entry.name;
+      EXPECT_GE(road->through_fraction, 0.0) << entry.name;
+      EXPECT_LE(road->through_fraction, 1.0) << entry.name;
+    } else {
+      ASSERT_NE(spec.trace_workload(), nullptr) << entry.name;
+      EXPECT_FALSE(spec.trace_workload()->trace.empty()) << entry.name;
+      // Routing needs carrier identity, which a trace replay lacks.
+      EXPECT_FALSE(spec.routing.has_value()) << entry.name;
+    }
     // The shared vehicle flow and the per-node environment must describe
     // the same epoch, or fleet epochs and scenario slots drift apart.
     EXPECT_EQ(spec.flow_profile.epoch(), entry.scenario.profile.epoch())
@@ -139,10 +148,23 @@ TEST(ScenarioCatalog, FleetEntriesCarryConsistentSpecs) {
     EXPECT_GT(spec.flow_profile.expected_contacts_per_epoch(), 0.0)
         << entry.name;
   }
-  EXPECT_GE(fleets, 3U);
+  EXPECT_GE(fleets, 5U);
   const CatalogEntry& highway = catalog().at("fleet-highway-1k");
   ASSERT_TRUE(highway.is_fleet());
   EXPECT_EQ(highway.fleet->nodes, 1024U);
+  // The multi-hop entries pin the v2 network outcome path.
+  const CatalogEntry& multihop = catalog().at("fleet-multihop-highway");
+  ASSERT_TRUE(multihop.is_fleet());
+  ASSERT_TRUE(multihop.fleet->routing.has_value());
+  EXPECT_EQ(multihop.fleet->routing->forwarding,
+            deploy::ForwardingPolicy::kGreedySink);
+  const CatalogEntry& relay = catalog().at("fleet-multihop-relay");
+  ASSERT_TRUE(relay.is_fleet());
+  ASSERT_TRUE(relay.fleet->routing.has_value());
+  EXPECT_EQ(relay.fleet->routing->forwarding,
+            deploy::ForwardingPolicy::kTimeCost);
+  ASSERT_NE(relay.fleet->road_workload(), nullptr);
+  EXPECT_LT(relay.fleet->road_workload()->through_fraction, 1.0);
 }
 
 }  // namespace

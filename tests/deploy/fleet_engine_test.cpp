@@ -82,21 +82,64 @@ TEST(FleetEngine, AggregatesAreInternallyConsistent) {
 
 TEST(FleetEngine, SpecRunBuildsTheWholeFleet) {
   core::RoadsideScenario scenario;
-  FleetSpec spec;
-  spec.nodes = 6;
-  spec.spacing_m = 500.0;
-  spec.strategy = core::Strategy::kSnipRh;
+  RoadWorkload road;
+  road.spacing_m = 500.0;
+  FleetSpec spec = FleetSpec::road(6, road, core::Strategy::kSnipRh, 16.0);
   FleetConfig config;
   config.deployment = make_fleet_deployment_config(scenario, spec,
                                                    /*phi_max_s=*/864.0,
                                                    /*epochs=*/2, /*seed=*/3);
   const auto out = FleetEngine{}.run(scenario, spec, config);
   ASSERT_EQ(out.nodes.size(), 6U);
+  EXPECT_FALSE(out.network.has_value());
   for (const NodeOutcome& n : out.nodes) {
     EXPECT_EQ(n.scheduler_name, "SNIP-RH");
     EXPECT_EQ(n.epochs, 2U);
     EXPECT_GT(n.mean_zeta_s, 0.0);
   }
+}
+
+TEST(FleetEngine, RoutingAttachesANetworkOutcome) {
+  core::RoadsideScenario scenario;
+  RoadWorkload road;
+  road.spacing_m = 500.0;
+  FleetSpec spec = FleetSpec::road(6, road, core::Strategy::kSnipRh, 16.0);
+  spec.routing = RoutingSpec{};  // unlimited stores, greedy to road end
+  FleetConfig config;
+  config.deployment = make_fleet_deployment_config(scenario, spec,
+                                                   /*phi_max_s=*/864.0,
+                                                   /*epochs=*/2, /*seed=*/3);
+  const auto out = FleetEngine{}.run(scenario, spec, config);
+  ASSERT_TRUE(out.network.has_value());
+  const NetworkOutcome& net = *out.network;
+  EXPECT_GT(net.generated_bytes, 0.0);
+  EXPECT_GE(net.delivery_ratio, 0.0);
+  EXPECT_LE(net.delivery_ratio, 1.0);
+  ASSERT_EQ(net.nodes.size(), 6U);
+  // Byte conservation: everything generated is accounted for.
+  EXPECT_NEAR(net.generated_bytes,
+              net.delivered_bytes + net.dropped_bytes + net.expired_bytes +
+                  net.lost_in_transit_bytes + net.residual_bytes,
+              1e-6 * net.generated_bytes);
+  const std::string json = FleetEngine::to_json(out);
+  EXPECT_EQ(json.rfind("{\"schema\":\"snipr.fleet.v2\",", 0), 0U);
+  EXPECT_NE(json.find("\"network\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"delivery_ratio\":"), std::string::npos);
+}
+
+TEST(FleetEngine, RoutingRejectsTraceWorkloads) {
+  core::RoadsideScenario scenario;
+  TraceWorkload trace;
+  trace.trace = "synthetic-metro-drift";
+  FleetSpec spec =
+      FleetSpec::trace_replay(4, trace, core::Strategy::kAdaptive, 16.0);
+  spec.routing = RoutingSpec{};
+  FleetConfig config;
+  config.deployment = make_fleet_deployment_config(scenario, spec,
+                                                   /*phi_max_s=*/864.0,
+                                                   /*epochs=*/1, /*seed=*/3);
+  EXPECT_THROW((void)FleetEngine{}.run(scenario, spec, config),
+               std::invalid_argument);
 }
 
 TEST(FleetEngine, ToJsonIsDeterministicAndStructured) {

@@ -1,0 +1,66 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/json_writer.hpp"
+#include "snipr/core/scenario_catalog.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
+
+/// Property: the store-and-forward collection pass does not break the
+/// engine's shard-count independence. The probing phase shards across
+/// workers, but the session list it hands the collection pass is a pure
+/// function of (spec, seed) — so the full `snipr.fleet.v2` document,
+/// network section and per-node rows included, must be byte-identical
+/// at 1, 2 and 8 shards and at any worker-thread count.
+///
+/// fleet_determinism_test covers every fleet entry at reduced size; this
+/// test runs the two multi-hop catalog entries at *full* size, because
+/// routing state (store levels, hop beacons, vehicle cargo) spans nodes
+/// and would expose any cross-shard coupling only when the whole chain
+/// participates.
+
+namespace snipr::deploy {
+namespace {
+
+std::string multihop_json(const core::CatalogEntry& entry, std::size_t shards,
+                          std::size_t threads) {
+  FleetConfig config;
+  config.deployment = make_fleet_deployment_config(
+      entry.scenario, *entry.fleet, entry.phi_max_s, /*epochs=*/2,
+      /*seed=*/11);
+  config.shards = shards;
+  config.threads = threads;
+  return FleetEngine::to_json(
+      FleetEngine{}.run(entry.scenario, *entry.fleet, config));
+}
+
+class MultihopDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MultihopDeterminism, V2JsonIsShardCountIndependent) {
+  const core::CatalogEntry& entry =
+      core::ScenarioCatalog::instance().at(GetParam());
+  ASSERT_TRUE(entry.is_fleet());
+  ASSERT_TRUE(entry.fleet->routing.has_value());
+  const std::string one = multihop_json(entry, 1, 1);
+  const std::string two = multihop_json(entry, 2, 2);
+  const std::string eight = multihop_json(entry, 8, 4);
+  EXPECT_EQ(core::json::extract_schema(one), core::json::kFleetSchemaV2);
+  EXPECT_NE(one.find("\"network\":{"), std::string::npos);
+  EXPECT_NE(one.find("\"per_node\":["), std::string::npos);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+INSTANTIATE_TEST_SUITE_P(MultihopEntries, MultihopDeterminism,
+                         ::testing::Values("fleet-multihop-highway",
+                                           "fleet-multihop-relay"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace snipr::deploy

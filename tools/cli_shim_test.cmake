@@ -1,0 +1,77 @@
+# Back-compat contract for snipr_cli: every legacy flag spelling
+# (--batch, --fleet NAME, --trace NAME, --list-scenarios) must produce
+# byte-identical stdout / artifacts to its subcommand replacement, and
+# each subcommand must answer --help. Run via ctest (cli_flag_shim);
+# expects -DSNIPR_CLI=<path> and -DWORK_DIR=<scratch dir>.
+
+if(NOT DEFINED SNIPR_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSNIPR_CLI=... -DWORK_DIR=... -P cli_shim_test.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli out_var rc_var)
+  execute_process(COMMAND "${SNIPR_CLI}" ${ARGN}
+                  OUTPUT_VARIABLE stdout
+                  ERROR_VARIABLE stderr
+                  RESULT_VARIABLE rc)
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+endfunction()
+
+function(expect_same label legacy_out modern_out)
+  if(NOT legacy_out STREQUAL modern_out)
+    message(FATAL_ERROR "${label}: legacy-flag and subcommand stdout differ")
+  endif()
+  message(STATUS "${label}: identical output")
+endfunction()
+
+# 1. Catalog listing.
+run_cli(legacy rc1 --list-scenarios)
+run_cli(modern rc2 list scenarios)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "list: nonzero exit (${rc1} / ${rc2})")
+endif()
+expect_same("list scenarios" "${legacy}" "${modern}")
+
+# 2. Batch sweep JSON (deterministic environment, so the two invocations
+# must agree byte for byte).
+set(grid --deterministic --mechanisms rh --targets 16 --seeds 1 --epochs 2)
+run_cli(legacy rc1 --batch ${grid})
+run_cli(modern rc2 batch ${grid})
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "batch: nonzero exit (${rc1} / ${rc2})")
+endif()
+expect_same("batch sweep" "${legacy}" "${modern}")
+
+# 3. Fleet artifacts (includes a multi-hop entry, pinning the v2 path
+# through both spellings).
+run_cli(out rc1 --fleet fleet-multihop-highway --epochs 1
+        --json "${WORK_DIR}/legacy.json")
+run_cli(out rc2 fleet fleet-multihop-highway --epochs 1
+        --json "${WORK_DIR}/modern.json")
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "fleet: nonzero exit (${rc1} / ${rc2})")
+endif()
+file(READ "${WORK_DIR}/legacy.json" legacy)
+file(READ "${WORK_DIR}/modern.json" modern)
+expect_same("fleet json" "${legacy}" "${modern}")
+if(NOT legacy MATCHES "^{\"schema\":\"snipr\\.fleet\\.v2\"")
+  message(FATAL_ERROR "fleet json: expected the snipr.fleet.v2 schema")
+endif()
+
+# 4. Per-subcommand help answers without running anything.
+foreach(sub run batch fleet trace list)
+  run_cli(help rc ${sub} --help)
+  if(NOT rc EQUAL 0 OR NOT help MATCHES "usage:")
+    message(FATAL_ERROR "'${sub} --help' failed (rc ${rc})")
+  endif()
+endforeach()
+
+# 5. Legacy mode flags are rejected under a subcommand: the two
+# spellings never combine into a third.
+run_cli(out rc run --fleet fleet-highway-1k)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "'run --fleet' should be rejected")
+endif()
+
+message(STATUS "cli shim: all spellings agree")

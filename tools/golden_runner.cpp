@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "snipr/core/batch_runner.hpp"
+#include "snipr/core/json_writer.hpp"
 #include "snipr/core/scenario_catalog.hpp"
 #include "snipr/deploy/fleet_engine.hpp"
 
@@ -256,6 +257,20 @@ int main(int argc, char** argv) {
     if (!expected) {
       std::printf("FAIL %-24s missing golden file %s (run --update)\n",
                   entry->name.c_str(), path.c_str());
+      ++failures;
+      continue;
+    }
+    // A schema mismatch is a versioning event, not a numeric regression:
+    // reject it outright instead of surfacing an opaque byte diff.
+    const std::string_view want = core::json::extract_schema(*expected);
+    const std::string_view got = core::json::extract_schema(actual);
+    if (want != got) {
+      std::printf(
+          "FAIL %-24s schema mismatch: golden file declares \"%.*s\" but "
+          "the runner emits \"%.*s\" (regenerate with --update if the "
+          "version bump is intentional)\n",
+          entry->name.c_str(), static_cast<int>(want.size()), want.data(),
+          static_cast<int>(got.size()), got.data());
       ++failures;
       continue;
     }

@@ -1,43 +1,31 @@
 /// snipr-cli — run contact-probing experiments from the command line.
 ///
-/// Single-run mode (default):
-///   snipr_cli [--scenario NAME] [--mechanism at|opt|rh|adaptive]
-///             [--target S] [--budget S] [--epochs N] [--seed N]
-///             [--deterministic] [--warmup N] [--ton S] [--tcontact S]
-///             [--csv] [--help]
+/// The CLI is organised as subcommands:
 ///
-/// Batch mode fans a mechanism × target × budget × seed grid out across
-/// the BatchRunner worker pool and emits the aggregate JSON:
-///   snipr_cli --batch [--scenario NAME] [--mechanisms at,opt,rh]
-///             [--targets 16,24,32] [--budgets 86.4,864] [--seeds N]
-///             [--threads N] [--json FILE] [--epochs N] [--warmup N]
-///             [--deterministic]
+///   snipr_cli run    [options]      one experiment, human or CSV output
+///   snipr_cli batch  [options]      mechanism x target x budget x seed
+///                                   sweep through the BatchRunner pool
+///   snipr_cli fleet  NAME [options] a multi-node deployment (a fleet
+///                                   catalog entry) through the sharded
+///                                   FleetEngine
+///   snipr_cli trace  NAME [options] replay a TraceCatalog workload (add
+///                                   --batch for a sweep over it)
+///   snipr_cli list   [scenarios|traces]  print the catalogs
 ///
-/// Fleet mode runs a whole multi-node deployment (a fleet catalog entry)
-/// through the sharded `deploy::FleetEngine`; results are identical for
-/// any --shards/--threads value:
-///   snipr_cli --fleet NAME [--shards N] [--threads N] [--epochs N]
-///             [--seed N] [--json FILE]
-///
-/// Trace mode replays a named `trace::TraceCatalog` workload (a
-/// checked-in ONE corpus or a generator recipe) through the simulator:
-/// the trace drives the channel via `contact::TraceReplayProcess` while
-/// the planners see the profile estimated from it. Composes with the
-/// single-run flags and with --batch:
-///   snipr_cli --trace NAME [--trace-dir DIR] [--mechanism ...]
-///             [--target S] [--budget S] [--epochs N] [--seed N]
-///   snipr_cli --list-traces
+/// Each subcommand has its own --help. Invocations that start with a
+/// flag instead of a subcommand take the legacy spelling (`--batch`,
+/// `--fleet NAME`, `--trace NAME`, `--list-scenarios`, `--list-traces`)
+/// and behave identically — existing scripts keep working, with a
+/// deprecation note on stderr.
 ///
 /// Environments come from the named scenario library
-/// (`core::ScenarioCatalog`); `--list-scenarios` prints it. Without
-/// `--scenario` the defaults reproduce the paper's road-side scenario:
-/// target 16 s, budget Tepoch/1000 = 86.4 s, 14 epochs, jittered
-/// environment, SNIP-RH. `--csv` prints a single machine-readable line
-/// (plus header) instead of the human-readable summary, so sweeps can be
-/// scripted; prefer `--batch` for anything larger than a few points:
+/// (`core::ScenarioCatalog`). Without `--scenario` the defaults
+/// reproduce the paper's road-side scenario: target 16 s, budget
+/// Tepoch/1000 = 86.4 s, 14 epochs, jittered environment, SNIP-RH.
 ///
-///   ./snipr_cli --batch --scenario night-shift --mechanisms at,rh
+///   ./snipr_cli batch --scenario night-shift --mechanisms at,rh
 ///       --targets 16,24,32 --seeds 5
+///   ./snipr_cli fleet fleet-multihop-relay --epochs 3 --json relay.json
 
 #include <algorithm>
 #include <cstdio>
@@ -60,9 +48,14 @@ namespace {
 
 using namespace snipr;
 
+enum class Mode { kRun, kBatch, kFleet, kTrace, kList };
+
 struct Options {
+  Mode mode{Mode::kRun};
+  bool legacy{false};  // flag-spelling invocation (no subcommand word)
   std::string scenario;  // empty = paper default (catalog "roadside")
   bool list_scenarios{false};
+  bool list_traces{false};
   std::string mechanism{"rh"};
   double target_s{16.0};
   bool target_set{false};
@@ -94,52 +87,107 @@ struct Options {
   // Trace mode.
   std::string trace;       // trace catalog entry name
   std::string trace_dir;   // data dir override for file-backed entries
-  bool list_traces{false};
   // Day-to-day replay jitter: non-zero by default so seeds (and seed
   // sweeps in --batch) actually vary; 0 replays the trace exactly.
   double replay_jitter_s{5.0};
 };
 
-void print_usage(const char* argv0) {
+void print_common_flags() {
   std::printf(
-      "usage: %s [options]\n"
-      "single-run mode:\n"
-      "  --scenario NAME                named environment from the catalog\n"
-      "  --list-scenarios               print the scenario catalog and exit\n"
-      "  --mechanism at|opt|rh|adaptive  scheduling policy (default rh)\n"
-      "  --target S                     zeta target per epoch, seconds\n"
-      "  --budget S                     probing budget per epoch, seconds\n"
-      "  --csv                          machine-readable output\n"
-      "batch mode:\n"
-      "  --batch                        run a sweep, emit aggregate JSON\n"
-      "  --mechanisms a,b,...           grid mechanisms (default at,opt,rh)\n"
-      "  --targets s1,s2,...            grid zeta targets, seconds\n"
-      "  --budgets s1,s2,...            grid budgets, seconds\n"
-      "  --seeds N                      seeds 1..N per grid point\n"
-      "  --threads N                    worker threads (default: all cores)\n"
-      "  --json FILE                    write JSON to FILE (default stdout)\n"
-      "fleet mode:\n"
-      "  --fleet NAME                   run a fleet catalog entry through\n"
-      "                                 the sharded FleetEngine\n"
-      "  --shards N                     simulator shards (default: one per\n"
-      "                                 hardware thread; never changes the\n"
-      "                                 results, only the wall clock)\n"
-      "trace mode:\n"
-      "  --trace NAME                   replay a trace catalog workload\n"
-      "                                 (composes with --batch)\n"
-      "  --trace-dir DIR                data dir for checked-in corpora\n"
-      "  --replay-jitter S              per-contact day-to-day jitter\n"
-      "                                 stddev (default 5; 0 = exact\n"
-      "                                 replay, all seeds identical)\n"
-      "  --list-traces                  print the trace catalog and exit\n"
-      "common:\n"
+      "common options:\n"
       "  --epochs N                     epochs to simulate (default 14)\n"
       "  --warmup N                     epochs excluded from averages\n"
       "  --seed N                       single-run RNG seed (default 1)\n"
       "  --deterministic                no interval jitter (analysis env)\n"
       "  --ton S                        SNIP wakeup on-time (default 0.02)\n"
-      "  --tcontact S                   mean contact length (default 2)\n",
-      argv0);
+      "  --tcontact S                   mean contact length (default 2)\n");
+}
+
+void print_usage(const char* argv0, Mode mode) {
+  switch (mode) {
+    case Mode::kRun:
+      std::printf(
+          "usage: %s run [options]\n"
+          "  --scenario NAME                named environment from the "
+          "catalog\n"
+          "  --mechanism at|opt|rh|adaptive scheduling policy (default rh)\n"
+          "  --target S                     zeta target per epoch, seconds\n"
+          "  --budget S                     probing budget per epoch, "
+          "seconds\n"
+          "  --csv                          machine-readable output\n",
+          argv0);
+      print_common_flags();
+      return;
+    case Mode::kBatch:
+      std::printf(
+          "usage: %s batch [options]\n"
+          "  --scenario NAME                named environment from the "
+          "catalog\n"
+          "  --mechanisms a,b,...           grid mechanisms (default "
+          "at,opt,rh)\n"
+          "  --targets s1,s2,...            grid zeta targets, seconds\n"
+          "  --budgets s1,s2,...            grid budgets, seconds\n"
+          "  --seeds N                      seeds 1..N per grid point\n"
+          "  --threads N                    worker threads (default: all "
+          "cores)\n"
+          "  --json FILE                    write JSON to FILE (default "
+          "stdout)\n",
+          argv0);
+      print_common_flags();
+      return;
+    case Mode::kFleet:
+      std::printf(
+          "usage: %s fleet NAME [options]\n"
+          "run a fleet catalog entry (see '%s list scenarios') through the\n"
+          "sharded FleetEngine; entries with a RoutingSpec also run the\n"
+          "multi-hop collection pass and emit the v2 network outcome.\n"
+          "  --shards N                     simulator shards (default: one\n"
+          "                                 per hardware thread; never\n"
+          "                                 changes the results, only the\n"
+          "                                 wall clock)\n"
+          "  --threads N                    worker threads\n"
+          "  --epochs N                     epochs to simulate\n"
+          "  --seed N                       RNG seed (default 1)\n"
+          "  --json FILE                    write fleet JSON to FILE\n",
+          argv0, argv0);
+      return;
+    case Mode::kTrace:
+      std::printf(
+          "usage: %s trace NAME [options]\n"
+          "replay a trace catalog workload (see '%s list traces'): the\n"
+          "trace drives the channel while the planners see the profile\n"
+          "estimated from it. Add --batch for a sweep over the replay.\n"
+          "  --trace-dir DIR                data dir for checked-in corpora\n"
+          "  --replay-jitter S              per-contact day-to-day jitter\n"
+          "                                 stddev (default 5; 0 = exact\n"
+          "                                 replay, all seeds identical)\n"
+          "  --batch                        sweep over the replay (then the\n"
+          "                                 batch options apply)\n"
+          "  --mechanism|--target|--budget  as in 'run'\n",
+          argv0, argv0);
+      print_common_flags();
+      return;
+    case Mode::kList:
+      std::printf(
+          "usage: %s list [scenarios|traces]\n"
+          "print the scenario and/or trace catalogs (default: both).\n",
+          argv0);
+      return;
+  }
+}
+
+void print_overview(const char* argv0) {
+  std::printf(
+      "usage: %s <subcommand> [options]\n"
+      "  run      one experiment (default when invoked with bare flags)\n"
+      "  batch    mechanism x target x budget x seed sweep, aggregate JSON\n"
+      "  fleet    a multi-node deployment through the sharded FleetEngine\n"
+      "  trace    replay a trace-catalog workload\n"
+      "  list     print the scenario / trace catalogs\n"
+      "run '%s <subcommand> --help' for that subcommand's options.\n"
+      "legacy flag spellings (--batch, --fleet NAME, --trace NAME,\n"
+      "--list-scenarios, --list-traces) are still accepted.\n",
+      argv0, argv0);
 }
 
 /// Parse a comma-separated list of strictly numeric values; false (and a
@@ -181,8 +229,21 @@ std::vector<std::string> split_csv(const std::string& list) {
   return items;
 }
 
-bool parse(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
+/// The flags that used to select a mode. Under a subcommand they are
+/// rejected with a pointer at the positional spelling, so the two ways
+/// of saying the same thing cannot be combined into a third.
+bool reject_mode_flag(const Options& opt, const std::string& arg,
+                      const char* replacement) {
+  if (!opt.legacy) {
+    std::fprintf(stderr, "'%s' is the legacy spelling; use '%s'\n",
+                 arg.c_str(), replacement);
+    return true;
+  }
+  return false;
+}
+
+bool parse(int argc, char** argv, int first, Options& opt) {
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -224,17 +285,59 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.help = true;
       return true;
     }
+    if (!arg.empty() && arg[0] != '-') {
+      // Subcommand positionals: the fleet / trace entry name, or the
+      // list filter. Anything else is a stray word.
+      if (opt.mode == Mode::kFleet && opt.fleet.empty()) {
+        opt.fleet = arg;
+        continue;
+      }
+      if (opt.mode == Mode::kTrace && opt.trace.empty()) {
+        opt.trace = arg;
+        continue;
+      }
+      if (opt.mode == Mode::kList && !opt.list_scenarios &&
+          !opt.list_traces) {
+        if (arg == "scenarios") {
+          opt.list_scenarios = true;
+          continue;
+        }
+        if (arg == "traces") {
+          opt.list_traces = true;
+          continue;
+        }
+        std::fprintf(stderr, "list: unknown catalog '%s' (scenarios or "
+                             "traces)\n", arg.c_str());
+        return false;
+      }
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
     if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--batch") {
+      // Legacy mode flag; also accepted under the trace subcommand (a
+      // sweep over the replay) and redundantly under batch itself.
+      if (opt.mode != Mode::kBatch && opt.mode != Mode::kTrace &&
+          reject_mode_flag(opt, arg, "snipr_cli batch")) {
+        return false;
+      }
       opt.batch = true;
     } else if (arg == "--list-scenarios") {
+      if (reject_mode_flag(opt, arg, "snipr_cli list scenarios")) {
+        return false;
+      }
       opt.list_scenarios = true;
+    } else if (arg == "--list-traces") {
+      if (reject_mode_flag(opt, arg, "snipr_cli list traces")) return false;
+      opt.list_traces = true;
     } else if (arg == "--scenario") {
       if (!take_string(opt.scenario)) return false;
     } else if (arg == "--fleet") {
+      if (reject_mode_flag(opt, arg, "snipr_cli fleet NAME")) return false;
       if (!take_string(opt.fleet)) return false;
     } else if (arg == "--trace") {
+      if (reject_mode_flag(opt, arg, "snipr_cli trace NAME")) return false;
       if (!take_string(opt.trace)) return false;
     } else if (arg == "--trace-dir") {
       if (!take_string(opt.trace_dir)) return false;
@@ -244,8 +347,6 @@ bool parse(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "--replay-jitter: must be >= 0\n");
         return false;
       }
-    } else if (arg == "--list-traces") {
-      opt.list_traces = true;
     } else if (arg == "--shards") {
       if (!take_size(opt.shards)) return false;
     } else if (arg == "--deterministic") {
@@ -299,7 +400,6 @@ bool parse(int argc, char** argv, Options& opt) {
       }
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      print_usage(argv[0]);
       return false;
     }
   }
@@ -307,8 +407,8 @@ bool parse(int argc, char** argv, Options& opt) {
 }
 
 void print_scenarios(std::FILE* out) {
-  std::fprintf(out, "scenarios (--scenario NAME, or --fleet NAME for the\n"
-                    "entries marked [fleet]):\n");
+  std::fprintf(out, "scenarios (run NAME via --scenario, or 'fleet NAME'\n"
+                    "for the entries marked [fleet]):\n");
   for (const core::CatalogEntry& entry :
        core::ScenarioCatalog::instance().entries()) {
     std::fprintf(out, "  %-22s %s%s\n", entry.name.c_str(),
@@ -319,7 +419,7 @@ void print_scenarios(std::FILE* out) {
 
 void print_traces(std::FILE* out) {
   std::fprintf(out,
-               "traces (--trace NAME; file-backed entries resolve against\n"
+               "traces ('trace NAME'; file-backed entries resolve against\n"
                "--trace-dir, $SNIPR_TRACE_DATA_DIR, or %s):\n",
                trace::TraceCatalog::default_data_dir().c_str());
   for (const trace::TraceEntry& entry :
@@ -331,7 +431,7 @@ void print_traces(std::FILE* out) {
   }
 }
 
-/// Resolve --trace into a replay scenario through the one shared
+/// Resolve the trace name into a replay scenario through the one shared
 /// trace-to-environment rule (`core::make_replay_scenario`): the top
 /// slots/6 busiest slots become the mask, and the replay carries
 /// --replay-jitter of day-to-day variation (so different seeds differ).
@@ -408,6 +508,23 @@ int run_fleet(const Options& opt) {
               outcome.mean_zeta_s, outcome.zeta_stddev_s, outcome.min_zeta_s,
               outcome.max_zeta_s);
   std::printf("  Jain fairness       = %8.4f\n", outcome.zeta_fairness);
+  if (outcome.network.has_value()) {
+    const deploy::NetworkOutcome& net = *outcome.network;
+    std::printf("  multi-hop collection (%s / %s):\n",
+                deploy::to_string(entry->fleet->routing->forwarding),
+                deploy::to_string(entry->fleet->routing->drop_policy));
+    std::printf("    delivery ratio    = %7.3f%%  (%.3g of %.3g MB)\n",
+                100.0 * net.delivery_ratio, net.delivered_bytes / 1e6,
+                net.generated_bytes / 1e6);
+    std::printf("    latency p50/p99   = %.0f s / %.0f s\n",
+                net.latency_p50_s, net.latency_p99_s);
+    std::printf("    custody           = %llu pickups, %llu deposits, "
+                "%llu deliveries (mean %.2f hops)\n",
+                static_cast<unsigned long long>(net.pickups),
+                static_cast<unsigned long long>(net.deposits),
+                static_cast<unsigned long long>(net.deliveries),
+                net.mean_hops);
+  }
   return 0;
 }
 
@@ -434,7 +551,7 @@ int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
   // flags (a one-point grid), then the environment's own default budget
   // (a catalog entry's pinned budget, or the trace-derived one) and a
   // named entry's representative targets (the golden-corpus grid) — so
-  // `--trace X` and `--trace X --batch` run under the same budget.
+  // `trace X` and `trace X --batch` run under the same budget.
   if (!opt.budgets_set) {
     sweep.phi_maxes_s = {opt.budget_set ? opt.budget_s : default_budget_s};
   }
@@ -480,28 +597,91 @@ int run_batch(const Options& opt, const core::RoadsideScenario& scenario,
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse(argc, argv, opt)) return 2;
+  int first = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string_view word{argv[1]};
+    if (word == "run") {
+      opt.mode = Mode::kRun;
+    } else if (word == "batch") {
+      opt.mode = Mode::kBatch;
+      opt.batch = true;
+    } else if (word == "fleet") {
+      opt.mode = Mode::kFleet;
+    } else if (word == "trace") {
+      opt.mode = Mode::kTrace;
+    } else if (word == "list") {
+      opt.mode = Mode::kList;
+    } else {
+      std::fprintf(stderr, "unknown subcommand '%s'\n", argv[1]);
+      print_overview(argv[0]);
+      return 2;
+    }
+    first = 2;
+  } else {
+    // Flag spelling: the pre-subcommand interface, kept working verbatim
+    // so scripts and CI pipelines migrate on their own schedule.
+    opt.legacy = true;
+  }
+  if (!parse(argc, argv, first, opt)) {
+    if (!opt.legacy) print_usage(argv[0], opt.mode);
+    return 2;
+  }
   if (opt.help) {
-    print_usage(argv[0]);
+    if (opt.legacy) {
+      print_overview(argv[0]);
+    } else {
+      print_usage(argv[0], opt.mode);
+    }
     return 0;
   }
-  if (opt.list_scenarios) {
-    print_scenarios(stdout);
+  if (opt.legacy) {
+    // Map the legacy mode flags onto the subcommands they became.
+    if (opt.list_scenarios || opt.list_traces) {
+      opt.mode = Mode::kList;
+    } else if (!opt.fleet.empty()) {
+      opt.mode = Mode::kFleet;
+    } else if (!opt.trace.empty()) {
+      opt.mode = Mode::kTrace;
+    } else if (opt.batch) {
+      opt.mode = Mode::kBatch;
+    }
+    if (opt.mode != Mode::kRun) {
+      std::fprintf(stderr,
+                   "note: flag-selected modes are deprecated; this is "
+                   "'snipr_cli %s'\n",
+                   opt.mode == Mode::kList    ? "list"
+                   : opt.mode == Mode::kFleet ? "fleet NAME"
+                   : opt.mode == Mode::kTrace ? "trace NAME"
+                                              : "batch");
+    }
+  }
+  if (opt.mode == Mode::kList) {
+    // The subcommand's positional (or the legacy flag) narrows to one
+    // catalog; bare `list` prints both.
+    const bool both = opt.list_scenarios == opt.list_traces;
+    if (both || opt.list_scenarios) print_scenarios(stdout);
+    if (both || opt.list_traces) print_traces(stdout);
     return 0;
   }
-  if (opt.list_traces) {
-    print_traces(stdout);
-    return 0;
+  if (opt.mode == Mode::kFleet && opt.fleet.empty()) {
+    std::fprintf(stderr, "fleet: missing entry NAME\n");
+    print_usage(argv[0], Mode::kFleet);
+    return 2;
+  }
+  if (opt.mode == Mode::kTrace && opt.trace.empty()) {
+    std::fprintf(stderr, "trace: missing workload NAME\n");
+    print_usage(argv[0], Mode::kTrace);
+    return 2;
   }
   // A run's environment comes from exactly one source; rejecting the
   // combinations (rather than silently preferring one) must happen
-  // before the fleet dispatch, or --trace would be dropped unnoticed.
+  // before the fleet dispatch, or the trace would be dropped unnoticed.
   if (!opt.trace.empty() && (!opt.scenario.empty() || !opt.fleet.empty())) {
-    std::fprintf(stderr, "--trace is mutually exclusive with --scenario "
-                         "and --fleet\n");
+    std::fprintf(stderr, "a trace replay is mutually exclusive with "
+                         "--scenario and a fleet entry\n");
     return 2;
   }
-  if (!opt.fleet.empty()) return run_fleet(opt);
+  if (opt.mode == Mode::kFleet) return run_fleet(opt);
 
   core::RoadsideScenario scenario;
   std::string label{"roadside"};
@@ -525,7 +705,8 @@ int main(int argc, char** argv) {
     // single-node result under the fleet's name.
     if (entry->is_fleet()) {
       std::fprintf(stderr,
-                   "'%s' is a fleet scenario; run it with --fleet %s\n",
+                   "'%s' is a fleet scenario; run it with 'snipr_cli "
+                   "fleet %s'\n",
                    opt.scenario.c_str(), opt.scenario.c_str());
       return 2;
     }
