@@ -13,8 +13,19 @@
 /// (schema "snipr.bench.deployment_scale.v1") that CI uploads, so the
 /// bench trajectory accumulates across commits.
 ///
+/// The --mega leg exercises the bounded-memory streaming path
+/// (`deploy::run_streaming_fleet`) at million-node scale: no per-node
+/// outcome vector, per-shard schedules built lazily, everything folded
+/// into scalar accumulators. It reports wall-clock, events/s and the
+/// RSS before/after plus the process high-water mark — the plateau that
+/// proves peak memory is independent of the fleet size. The leg
+/// compresses the arrival profile to a 1 h epoch (24 slots) so 52
+/// epochs of a million nodes stay affordable on one machine; the point
+/// is engine throughput and memory shape, not roadside physics.
+///
 ///   bench_deployment_scale [--json FILE] [--max-nodes N] [--epochs N]
-///                          [--shards N]
+///                          [--shards N] [--mega] [--mega-nodes N]
+///                          [--mega-epochs N]
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +39,29 @@
 #include "snipr/core/json_writer.hpp"
 #include "snipr/core/scenario_catalog.hpp"
 #include "snipr/deploy/fleet_engine.hpp"
+#include "snipr/deploy/fleet_streaming.hpp"
+
+namespace {
+
+/// "VmRSS" / "VmHWM" in MiB from /proc/self/status; 0.0 when the
+/// pseudo-file is unavailable (non-Linux).
+double proc_status_mib(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      kib = std::strtod(line + key_len + 1, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace snipr;
@@ -36,6 +70,9 @@ int main(int argc, char** argv) {
   std::size_t max_nodes = 1024;
   std::size_t epochs = 14;
   std::size_t shards = 0;
+  bool mega = false;
+  std::size_t mega_nodes = 1'000'000;
+  std::size_t mega_epochs = 52;
   for (int i = 1; i < argc; ++i) {
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -52,6 +89,16 @@ int main(int argc, char** argv) {
       epochs = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       shards = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mega") == 0) {
+      mega = true;
+    } else if (std::strcmp(argv[i], "--mega-nodes") == 0) {
+      mega = true;
+      mega_nodes =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mega-epochs") == 0) {
+      mega = true;
+      mega_epochs =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       return 2;
@@ -118,13 +165,82 @@ int main(int argc, char** argv) {
               "# (travel offset x/v) — the misalignment per-node adaptive"
               " learning exists to fix.\n");
 
+  std::string mega_row;
+  if (mega) {
+    // Dense geometry (1 m spacing, fixed 20 m/s flow) on a 1 h uniform
+    // profile: every node sees the shared flow a few times per epoch and
+    // the rush-hour mask still indexes valid slots. Budget is capped low
+    // so the wakeup cadence stays sparse — the regime a year-long
+    // deployment actually runs in.
+    deploy::RoadWorkload road;
+    road.first_position_m = 50.0;
+    road.spacing_m = 1.0;
+    road.range_m = 10.0;
+    road.speed_mean_mps = 20.0;
+    road.speed_stddev_mps = 0.0;
+    deploy::FleetSpec spec =
+        deploy::FleetSpec::road(mega_nodes, road, entry.fleet->strategy,
+                                entry.fleet->zeta_target_s);
+    spec.flow_profile =
+        contact::ArrivalProfile::uniform(sim::Duration::hours(1), 24, 300.0);
+    deploy::FleetConfig config;
+    config.deployment = deploy::make_fleet_deployment_config(
+        entry.scenario, spec, /*phi_max_s=*/30.0, mega_epochs, /*seed=*/11);
+    config.shards = shards;
+
+    std::printf("# mega leg: %zu nodes x %zu epochs, streaming engine\n",
+                mega_nodes, mega_epochs);
+    const double rss_before_mib = proc_status_mib("VmRSS");
+    const auto start = std::chrono::steady_clock::now();
+    const auto summary = deploy::run_streaming_fleet(entry.scenario, spec,
+                                                     config);
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    if (!summary.has_value()) {
+      std::fprintf(stderr, "mega leg returned no summary\n");
+      return 1;
+    }
+    const double rss_after_mib = proc_status_mib("VmRSS");
+    const double hwm_mib = proc_status_mib("VmHWM");
+    const double events_per_sec =
+        static_cast<double>(summary->events_executed) / wall_s;
+    std::printf("#   wall %.1f s | %llu events (%.2fM events/s)\n", wall_s,
+                static_cast<unsigned long long>(summary->events_executed),
+                events_per_sec / 1e6);
+    std::printf("#   rss %.1f -> %.1f MiB (hwm %.1f MiB) | mean_zeta %.3f s"
+                " fairness %.4f\n",
+                rss_before_mib, rss_after_mib, hwm_mib, summary->mean_zeta_s,
+                summary->zeta_fairness);
+
+    core::json::append_uint_field(mega_row, "nodes", mega_nodes);
+    core::json::append_uint_field(mega_row, "epochs", mega_epochs);
+    core::json::append_field(mega_row, "wall_s", wall_s);
+    core::json::append_uint_field(mega_row, "events",
+                                  summary->events_executed);
+    core::json::append_field(mega_row, "events_per_sec", events_per_sec);
+    core::json::append_field(mega_row, "rss_before_mib", rss_before_mib);
+    core::json::append_field(mega_row, "rss_after_mib", rss_after_mib);
+    core::json::append_field(mega_row, "rss_hwm_mib", hwm_mib);
+    core::json::append_field(mega_row, "mean_zeta_s", summary->mean_zeta_s);
+    core::json::append_field(mega_row, "zeta_p99_s", summary->zeta_p99_s);
+    core::json::append_field(mega_row, "zeta_fairness",
+                             summary->zeta_fairness, /*comma=*/false);
+  }
+
   if (!json_path.empty()) {
     std::string json;
     core::json::open_document(json,
                               core::json::kBenchDeploymentScaleSchemaV1);
     json += "\"scenario\":\"fleet-highway-1k\",\"rows\":[";
     json += rows;
-    json += "]}";
+    json += ']';
+    if (!mega_row.empty()) {
+      json += ",\"mega\":{";
+      json += mega_row;
+      json += '}';
+    }
+    json += '}';
     if (!core::BatchRunner::write_json_file(json, json_path.c_str())) {
       return 1;
     }

@@ -23,6 +23,7 @@
 #include "snipr/core/strategy.hpp"
 #include "snipr/sim/simulator.hpp"
 #include "support/counting_alloc_hook.hpp"
+#include "support/reference_event_queue.hpp"
 
 namespace {
 
@@ -86,6 +87,71 @@ void BM_SimulatorEventLoop(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorEventLoop)->Arg(4)->Arg(64);
+
+/// Mixed schedule/cancel churn straight against the queue — the
+/// retimed-wakeup steady state of every duty-cycled node: each step
+/// retimes one pending event (cancel + reschedule), then pops the
+/// earliest and replaces it, over a standing population of range(0)
+/// pending events. Delays are mostly sub-second (wheel levels 0-2) with
+/// an occasional beyond-horizon hop so the overflow heap stays on the
+/// measured path. Runs identically against the live timing-wheel
+/// `sim::EventQueue` and the binary-heap reference model it replaced, so
+/// `churn_ops_per_sec` compares the two on the same counter.
+template <class Queue>
+void queue_churn(benchmark::State& state) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  Queue q;
+  std::vector<sim::EventId> pending(population);
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  const auto delay = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = lcg >> 33;
+    if ((r & 0xFF) == 0) return sim::Duration::hours(2);
+    return sim::Duration::microseconds(
+        static_cast<std::int64_t>(r % 1'000'000));
+  };
+  sim::TimePoint now = sim::TimePoint::zero();
+  for (auto& id : pending) id = q.schedule(now + delay(), [] {});
+  std::size_t cursor = 0;
+  std::uint64_t ops = 0;
+  const auto step = [&] {
+    // Retime: the cancel misses when a pop already consumed the handle,
+    // exactly as a node's stale retimer would.
+    (void)q.cancel(pending[cursor]);
+    pending[cursor] = q.schedule(now + delay(), [] {});
+    cursor = (cursor + 1) % population;
+    auto popped = q.pop();
+    now = popped->at;
+    (void)q.schedule(now + delay(), [] {});
+    ops += 4;
+  };
+  // Warm to steady-state capacity before counting allocations.
+  for (std::size_t i = 0; i < 4 * population + 1024; ++i) step();
+
+  ops = 0;
+  const AllocSnapshot before = alloc_snapshot();
+  for (auto _ : state) step();
+  const AllocSnapshot after = alloc_snapshot();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  const double n = ops > 0 ? static_cast<double>(ops) : 1.0;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(after.calls - before.calls) / n;
+  state.counters["bytes_per_op"] =
+      static_cast<double>(after.bytes - before.bytes) / n;
+  state.counters["churn_ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  queue_churn<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(4096);
+
+void BM_EventQueueChurnReference(benchmark::State& state) {
+  queue_churn<snipr::testing::ReferenceEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurnReference)->Arg(64)->Arg(4096);
 
 void BM_ExperimentRun(benchmark::State& state) {
   const core::RoadsideScenario scenario;

@@ -23,6 +23,8 @@ inline constexpr const char* kBatchSchemaV1 = "snipr.batch.v1";
 inline constexpr const char* kFleetSchemaV1 = "snipr.fleet.v1";
 /// Fleet outcome carrying the multi-hop collection "network" section.
 inline constexpr const char* kFleetSchemaV2 = "snipr.fleet.v2";
+/// Bounded-memory streaming fleet aggregate (no per-node rows).
+inline constexpr const char* kFleetSummarySchemaV1 = "snipr.fleet_summary.v1";
 inline constexpr const char* kBenchDeploymentScaleSchemaV1 =
     "snipr.bench.deployment_scale.v1";
 inline constexpr const char* kBenchMultihopScaleSchemaV1 =

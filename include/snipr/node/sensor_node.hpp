@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "snipr/radio/channel.hpp"
 #include "snipr/node/data_buffer.hpp"
 #include "snipr/node/mobile_node.hpp"
+#include "snipr/node/node_block.hpp"
 #include "snipr/node/scheduler.hpp"
 #include "snipr/sim/simulator.hpp"
 
@@ -24,8 +26,14 @@
 ///   4. on no reply: radio off after Ton.
 ///
 /// Probing overhead Φ is the radio-on time of steps 1-2 (charged against
-/// the per-epoch ProbingBudget); transfer airtime is metered separately,
+/// the per-epoch probing budget); transfer airtime is metered separately,
 /// matching the paper's Table I definition of Φ.
+///
+/// The per-wakeup-mutated counters (Φ, ζ, bytes, wakeups, budget, the
+/// retiming hints) live in a struct-of-arrays node::NodeBlock lane, not
+/// in the node object: a FleetEngine shard hands every node a lane of
+/// its own block, so the shard's hot state stays contiguous. Standalone
+/// nodes own a private 1-lane block.
 
 namespace snipr::node {
 
@@ -57,6 +65,16 @@ struct SensorNodeConfig {
   /// know their horizon set it so the per-epoch history is reserved up
   /// front instead of growing geometrically across a long run.
   std::size_t expected_epochs{0};
+  /// Retain the per-epoch EpochStats history (one entry per epoch).
+  /// Fleet runs turn this off: the NodeBlock's streaming totals carry
+  /// the identical information for run-level summaries, in O(1) memory
+  /// per node regardless of epoch count.
+  bool record_epoch_history{true};
+  /// Retain the per-contact ProbedContactRecord log. Needed only by
+  /// consumers that replay individual sessions (the store-and-forward
+  /// collection pass, miss-ratio drill-downs); the probed-session *count*
+  /// is maintained in the NodeBlock either way.
+  bool record_probed_contacts{true};
 };
 
 /// Per-epoch outcome counters, snapshotted at each epoch boundary.
@@ -81,9 +99,16 @@ struct ProbedContactRecord {
 class SensorNode {
  public:
   /// All references must outlive the node. Call start() once before
-  /// running the simulator.
+  /// running the simulator. This standalone form owns a private 1-lane
+  /// NodeBlock.
   SensorNode(sim::Simulator& simulator, radio::Channel& channel,
              MobileNode& sink, Scheduler& scheduler, SensorNodeConfig config);
+
+  /// Fleet form: hot state lives in `block` lane `lane` (owned by the
+  /// caller, shared by the shard's nodes; must outlive the node).
+  SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+             MobileNode& sink, Scheduler& scheduler, SensorNodeConfig config,
+             NodeBlock& block, std::size_t lane);
 
   /// Schedule the first CPU wakeup and the epoch-boundary bookkeeping.
   void start();
@@ -92,15 +117,17 @@ class SensorNode {
     return config_;
   }
 
-  /// Epochs completed so far (snapshotted stats).
+  /// Epochs completed so far (snapshotted stats). Empty when
+  /// `config.record_epoch_history` is off — use the NodeBlock's
+  /// streaming totals instead.
   [[nodiscard]] const std::vector<EpochStats>& epoch_history() const noexcept {
     return history_;
   }
-  /// Counters for the epoch in progress.
-  [[nodiscard]] const EpochStats& current_epoch() const noexcept {
-    return current_;
-  }
-  /// Every successfully probed contact since start().
+  /// Counters for the epoch in progress, assembled from the block lane.
+  [[nodiscard]] EpochStats current_epoch() const noexcept;
+  /// Every successfully probed contact since start(). Empty when
+  /// `config.record_probed_contacts` is off (the count survives in the
+  /// block's probed_sessions lane).
   [[nodiscard]] const std::vector<ProbedContactRecord>& probed_contacts()
       const noexcept {
     return probed_;
@@ -108,10 +135,23 @@ class SensorNode {
   [[nodiscard]] const FluidBuffer& buffer() const noexcept { return buffer_; }
   /// Probing radio-on time in the current epoch (the budget meter).
   [[nodiscard]] sim::Duration budget_used() const noexcept {
-    return budget_.used();
+    return sim::Duration::microseconds(block_->budget_used_us(lane_));
   }
 
+  /// The hot-state block this node writes (its own 1-lane block for the
+  /// standalone form) and the lane within it — how summaries read the
+  /// streaming totals without per-epoch history.
+  [[nodiscard]] const NodeBlock& block() const noexcept { return *block_; }
+  [[nodiscard]] std::size_t lane() const noexcept { return lane_; }
+
  private:
+  /// Shared delegate: `owned` is the standalone form's private block
+  /// (null for fleet nodes); `block` overrides it when non-null.
+  SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+             MobileNode& sink, Scheduler& scheduler, SensorNodeConfig config,
+             std::unique_ptr<NodeBlock> owned, NodeBlock* block,
+             std::size_t lane);
+
   void cpu_wakeup();
   void schedule_next(sim::Duration delay);
   void probing_wakeup();
@@ -131,16 +171,19 @@ class SensorNode {
   Scheduler& scheduler_;
   SensorNodeConfig config_;
 
+  /// Present only for the standalone form; fleet nodes borrow the
+  /// shard's block.
+  std::unique_ptr<NodeBlock> owned_block_;
+  NodeBlock* block_;
+  std::size_t lane_;
+
   FluidBuffer buffer_;
-  energy::ProbingBudget budget_;
   energy::EnergyMeter probing_meter_;
   energy::EnergyMeter transfer_meter_;
 
-  EpochStats current_{};
+  std::int64_t epoch_index_{0};
   std::vector<EpochStats> history_;
   std::vector<ProbedContactRecord> probed_;
-  std::optional<sim::TimePoint> last_probed_arrival_{};
-  sim::Duration last_next_wakeup_{sim::Duration::seconds(1)};
   double probing_j_mark_{0.0};
   double transfer_j_mark_{0.0};
   bool started_{false};

@@ -16,6 +16,13 @@ class Histogram {
   /// underflow/overflow. Requires hi > lo and bins >= 1.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Count `sample` with `weight`. The range is half-open at every level:
+  /// `lo` is inclusive, `hi` is overflow (add(hi) increments overflow(),
+  /// add(nextafter(hi, lo)) lands in the last bin), and each bin covers
+  /// [bin_lo, bin_hi). Samples a rounding error below hi can make
+  /// `(sample - lo) / bin_width` quotient to the bin count; the index is
+  /// clamped to the last bin so the [lo, hi) promise survives floating
+  /// point.
   void add(double sample, double weight = 1.0);
 
   [[nodiscard]] std::size_t bin_count() const noexcept {

@@ -9,9 +9,33 @@ namespace snipr::stats {
 
 class OnlineStats {
  public:
+  /// Serialisable internal state (checkpoint/restore of streaming runs).
+  /// Restoring a snapshot and continuing is bit-identical to never
+  /// having stopped.
+  struct Snapshot {
+    std::size_t n{0};
+    double mean{0.0};
+    double m2{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+
   void add(double sample) noexcept;
   /// Merge another accumulator (parallel reduction of per-epoch stats).
+  /// Merging an empty accumulator (either side) is the identity: min/max
+  /// never absorb the empty side's meaningless zeros.
   void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    return {n_, mean_, m2_, min_, max_};
+  }
+  void restore(const Snapshot& s) noexcept {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }

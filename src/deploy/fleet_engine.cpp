@@ -39,9 +39,19 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
   };
   std::vector<NodeWorld> worlds;
   worlds.reserve(end - begin);
+  // One struct-of-arrays hot-state block for the whole shard: every
+  // node's per-wakeup counters sit in contiguous lanes instead of being
+  // scattered across the node objects.
+  node::NodeBlock block{end - begin};
 
   node::SensorNodeConfig node_config = config.node;
   node_config.expected_epochs = config.epochs;
+  // Run-level summaries read the block's streaming totals (bit-equal to
+  // a history-based summary), so the per-epoch vectors would be dead
+  // weight; per-contact records are kept only when the caller exports
+  // them (the store-and-forward collection pass).
+  node_config.record_epoch_history = false;
+  node_config.record_probed_contacts = probed != nullptr;
 
   for (std::size_t i = begin; i < end; ++i) {
     NodeWorld w;
@@ -54,7 +64,8 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
       throw std::invalid_argument("FleetEngine: factory returned null");
     }
     w.sensor = std::make_unique<node::SensorNode>(
-        simulator, *w.channel, *w.sink, *w.scheduler, node_config);
+        simulator, *w.channel, *w.sink, *w.scheduler, node_config, block,
+        i - begin);
     w.sensor->start();
     worlds.push_back(std::move(w));
   }

@@ -12,13 +12,31 @@ using energy::RadioState;
 SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
                        MobileNode& sink, Scheduler& scheduler,
                        SensorNodeConfig config)
+    : SensorNode{simulator,          channel, sink,
+                 scheduler,          std::move(config),
+                 std::make_unique<NodeBlock>(1), nullptr,
+                 0} {}
+
+SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+                       MobileNode& sink, Scheduler& scheduler,
+                       SensorNodeConfig config, NodeBlock& block,
+                       std::size_t lane)
+    : SensorNode{simulator, channel, sink,    scheduler, std::move(config),
+                 nullptr,   &block,  lane} {}
+
+SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
+                       MobileNode& sink, Scheduler& scheduler,
+                       SensorNodeConfig config, std::unique_ptr<NodeBlock> owned,
+                       NodeBlock* block, std::size_t lane)
     : sim_{simulator},
       channel_{channel},
       sink_{sink},
       scheduler_{scheduler},
       config_{config},
+      owned_block_{std::move(owned)},
+      block_{block != nullptr ? block : owned_block_.get()},
+      lane_{lane},
       buffer_{config.sensing_rate_bps},
-      budget_{config.budget_limit},
       probing_meter_{config.energy_model, RadioState::kOff, simulator.now()},
       transfer_meter_{config.energy_model, RadioState::kOff, simulator.now()} {
   if (!(config.ton > sim::Duration::zero())) {
@@ -27,20 +45,26 @@ SensorNode::SensorNode(sim::Simulator& simulator, radio::Channel& channel,
   if (!(config.epoch > sim::Duration::zero())) {
     throw std::invalid_argument("SensorNode: epoch must be positive");
   }
+  if (lane >= block_->size()) {
+    throw std::out_of_range("SensorNode: lane outside the node block");
+  }
 }
 
 void SensorNode::start() {
   if (started_) throw std::logic_error("SensorNode::start called twice");
   started_ = true;
-  history_.reserve(config_.expected_epochs);
-  // Each schedule contact is probed at most once, so schedule size is a
-  // hard bound — but duty-cycled nodes typically probe a small fraction
-  // of it, so cap the up-front commitment (a fleet holds every node's
-  // world at once); a heavier-probing run still grows geometrically
-  // past the cap.
-  constexpr std::size_t kProbedReserveCap = 1024;
-  probed_.reserve(std::min(channel_.schedule().size(), kProbedReserveCap));
-  current_.epoch_index = 0;
+  if (config_.record_epoch_history) {
+    history_.reserve(config_.expected_epochs);
+  }
+  if (config_.record_probed_contacts) {
+    // Each schedule contact is probed at most once, so schedule size is a
+    // hard bound — but duty-cycled nodes typically probe a small fraction
+    // of it, so cap the up-front commitment (a fleet holds every node's
+    // world at once); a heavier-probing run still grows geometrically
+    // past the cap.
+    constexpr std::size_t kProbedReserveCap = 1024;
+    probed_.reserve(std::min(channel_.schedule().size(), kProbedReserveCap));
+  }
   sim_.schedule_at(sim_.now(), [this] { cpu_wakeup(); });
   sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
 }
@@ -49,10 +73,23 @@ SensorContext SensorNode::make_context() const {
   SensorContext ctx;
   ctx.now = sim_.now();
   ctx.buffer_bytes = buffer_.available(ctx.now);
-  ctx.budget_used = budget_.used();
-  ctx.budget_limit = budget_.limit();
-  ctx.epoch_index = current_.epoch_index;
+  ctx.budget_used = budget_used();
+  ctx.budget_limit = config_.budget_limit;
+  ctx.epoch_index = epoch_index_;
   return ctx;
+}
+
+EpochStats SensorNode::current_epoch() const noexcept {
+  EpochStats e;
+  e.epoch_index = epoch_index_;
+  e.phi = sim::Duration::microseconds(block_->phi_us(lane_));
+  e.zeta = sim::Duration::microseconds(block_->zeta_us(lane_));
+  e.bytes_uploaded = block_->bytes_uploaded(lane_);
+  e.contacts_probed = block_->contacts_probed(lane_);
+  e.wakeups = block_->wakeups(lane_);
+  e.probing_energy_j = probing_meter_.energy_j() - probing_j_mark_;
+  e.transfer_energy_j = transfer_meter_.energy_j() - transfer_j_mark_;
+  return e;
 }
 
 void SensorNode::schedule_next(sim::Duration delay) {
@@ -64,7 +101,7 @@ void SensorNode::cpu_wakeup() {
   if (!(decision.next_wakeup > sim::Duration::zero())) {
     throw std::logic_error("Scheduler returned a non-positive next_wakeup");
   }
-  last_next_wakeup_ = decision.next_wakeup;
+  block_->last_wakeup_us(lane_) = decision.next_wakeup.count();
   if (decision.probe) {
     probing_wakeup();  // schedules the next CPU wakeup itself
   } else {
@@ -73,7 +110,7 @@ void SensorNode::cpu_wakeup() {
 }
 
 void SensorNode::probing_wakeup() {
-  ++current_.wakeups;
+  ++block_->wakeups(lane_);
   if (config_.protocol == ProbingProtocol::kMip) {
     mip_wakeup();
   } else {
@@ -84,6 +121,8 @@ void SensorNode::probing_wakeup() {
 void SensorNode::snip_wakeup() {
   const sim::TimePoint t0 = sim_.now();
   const radio::LinkParams& link = channel_.link();
+  const sim::Duration last_next_wakeup =
+      sim::Duration::microseconds(block_->last_wakeup_us(lane_));
 
   // Beacon transmission. The exchange resolves synchronously: the only
   // parties are this node and (at most) the one mobile node in range, so
@@ -106,11 +145,11 @@ void SensorNode::snip_wakeup() {
     // Listen out the rest of Ton, then sleep. Full Ton charged to Φ.
     probing_meter_.accumulate(RadioState::kListen,
                               listen_end - beacon_end);
-    budget_.consume(config_.ton);
-    current_.phi += config_.ton;
+    block_->budget_used_us(lane_) += config_.ton.count();
+    block_->phi_us(lane_) += config_.ton.count();
     // The radio is busy until listen_end: the next wakeup can never come
     // sooner than one Ton, whatever the scheduler asked for.
-    schedule_next(std::max(last_next_wakeup_, config_.ton));
+    schedule_next(std::max(last_next_wakeup, config_.ton));
     return;
   }
 
@@ -118,22 +157,25 @@ void SensorNode::snip_wakeup() {
   // exchange up to awareness; the transfer session is metered separately.
   probing_meter_.accumulate(RadioState::kRx, link.reply_airtime);
   const sim::Duration probe_cost = reply_end - t0;
-  budget_.consume(probe_cost);
-  current_.phi += probe_cost;
+  block_->budget_used_us(lane_) += probe_cost.count();
+  block_->phi_us(lane_) += probe_cost.count();
 
   const auto active = channel_.active_contact(t0);
   if (!active.has_value()) {
     throw std::logic_error("probed without an active contact");
   }
-  const bool new_session = last_probed_arrival_ != active->arrival;
-  last_probed_arrival_ = active->arrival;
-  begin_transfer(*active, reply_end, last_next_wakeup_, new_session);
+  const bool new_session =
+      block_->last_probed_arrival_us(lane_) != active->arrival.count();
+  block_->last_probed_arrival_us(lane_) = active->arrival.count();
+  begin_transfer(*active, reply_end, last_next_wakeup, new_session);
 }
 
 void SensorNode::mip_wakeup() {
   const sim::TimePoint t0 = sim_.now();
   const radio::LinkParams& link = channel_.link();
   const sim::TimePoint listen_end = t0 + config_.ton;
+  const sim::Duration last_next_wakeup =
+      sim::Duration::microseconds(block_->last_wakeup_us(lane_));
 
   // MIP: the sensor only listens; the mobile beacons every
   // mobile_beacon_period while in range. Candidate contact: the one in
@@ -178,18 +220,19 @@ void SensorNode::mip_wakeup() {
 
   if (!probed) {
     probing_meter_.accumulate(RadioState::kListen, config_.ton);
-    budget_.consume(config_.ton);
-    current_.phi += config_.ton;
-    schedule_next(std::max(last_next_wakeup_, config_.ton));
+    block_->budget_used_us(lane_) += config_.ton.count();
+    block_->phi_us(lane_) += config_.ton.count();
+    schedule_next(std::max(last_next_wakeup, config_.ton));
     return;
   }
 
   const sim::Duration probe_cost = aware - t0;
-  budget_.consume(probe_cost);
-  current_.phi += probe_cost;
-  const bool new_session = last_probed_arrival_ != cand->arrival;
-  last_probed_arrival_ = cand->arrival;
-  begin_transfer(*cand, aware, last_next_wakeup_, new_session);
+  block_->budget_used_us(lane_) += probe_cost.count();
+  block_->phi_us(lane_) += probe_cost.count();
+  const bool new_session =
+      block_->last_probed_arrival_us(lane_) != cand->arrival.count();
+  block_->last_probed_arrival_us(lane_) = cand->arrival.count();
+  begin_transfer(*cand, aware, last_next_wakeup, new_session);
 }
 
 void SensorNode::begin_transfer(const contact::Contact& active,
@@ -214,8 +257,8 @@ void SensorNode::begin_transfer(const contact::Contact& active,
   if (new_session) {
     // Ground-truth probed capacity is Tprobed = departure − awareness,
     // independent of how much of it the transfer used (Table I).
-    current_.zeta += active.departure() - probe_time;
-    ++current_.contacts_probed;
+    block_->zeta_us(lane_) += (active.departure() - probe_time).count();
+    ++block_->contacts_probed(lane_);
   }
 
   // Bools ride at the tail of the capture list so the closure packs into
@@ -230,10 +273,13 @@ void SensorNode::begin_transfer(const contact::Contact& active,
     const double duration_s = (transfer_end - probe_time).to_seconds();
     const double bytes = buffer_.take(
         transfer_end, channel_.link().data_rate_bps * duration_s);
-    current_.bytes_uploaded += bytes;
+    block_->bytes_uploaded(lane_) += bytes;
     sink_.deliver(bytes, transfer_end, new_session);
     if (new_session) {
-      probed_.push_back(ProbedContactRecord{active, probe_time, bytes});
+      ++block_->probed_sessions(lane_);
+      if (config_.record_probed_contacts) {
+        probed_.push_back(ProbedContactRecord{active, probe_time, bytes});
+      }
       ProbedContactObservation obs;
       obs.probe_time = probe_time;
       obs.observed_probed_len = transfer_end - probe_time;
@@ -242,22 +288,22 @@ void SensorNode::begin_transfer(const contact::Contact& active,
       obs.saw_departure = saw_departure;
       scheduler_.on_contact_probed(obs);
     }
-    schedule_next(last_next_wakeup_);
+    schedule_next(sim::Duration::microseconds(block_->last_wakeup_us(lane_)));
   });
 }
 
 void SensorNode::epoch_boundary() {
-  current_.probing_energy_j = probing_meter_.energy_j() - probing_j_mark_;
-  current_.transfer_energy_j = transfer_meter_.energy_j() - transfer_j_mark_;
+  if (config_.record_epoch_history) {
+    history_.push_back(current_epoch());
+  }
   probing_j_mark_ = probing_meter_.energy_j();
   transfer_j_mark_ = transfer_meter_.energy_j();
 
-  history_.push_back(current_);
-
-  current_ = EpochStats{};
-  current_.epoch_index = history_.back().epoch_index + 1;
-  budget_.reset();
-  scheduler_.on_epoch_start(current_.epoch_index);
+  // Fold this epoch into the streaming totals and zero the counters —
+  // the same additions, in the same order, a history-based summary does.
+  block_->fold_epoch(lane_);
+  ++epoch_index_;
+  scheduler_.on_epoch_start(epoch_index_);
   sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
 }
 

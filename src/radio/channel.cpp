@@ -41,6 +41,14 @@ std::optional<contact::Contact> Channel::next_arrival_at_or_after(
     sim::TimePoint t) const {
   const std::vector<contact::Contact>& contacts = schedule_->contacts();
   std::size_t i = position_cursor(t);
+  // The cursor keeps only undeparted contacts ahead of it, which is one
+  // contact too far for this query when a zero-length contact sits
+  // exactly at t: it has departure() == arrival == t, so the cursor has
+  // stepped past it even though its arrival satisfies >= t. Walk back
+  // over any such contacts (all necessarily zero-length at exactly t —
+  // arrival >= t and departure() <= t force both) so the result matches
+  // ContactSchedule::next_arrival_at_or_after on every schedule.
+  while (i > 0 && contacts[i - 1].arrival >= t) --i;
   // The contact at the cursor has not departed yet, but may be active
   // (arrival < t); every later contact arrives strictly after t.
   if (i < contacts.size() && contacts[i].arrival < t) ++i;

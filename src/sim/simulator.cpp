@@ -27,9 +27,8 @@ bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
 std::size_t Simulator::drain(TimePoint limit, std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events) {
-    const auto next = queue_.next_time();
-    if (!next.has_value() || *next > limit) break;
-    auto popped = queue_.pop();
+    auto popped = queue_.pop_due(limit);
+    if (!popped.has_value()) break;
     now_ = popped->at;
     popped->fn();
     ++executed;

@@ -36,6 +36,28 @@ TEST(ContactSchedule, BackToBackContactsAllowed) {
   EXPECT_NO_THROW(ContactSchedule{ok});
 }
 
+TEST(ContactSchedule, ZeroLengthContactBoundaries) {
+  // A zero-length contact occupies [t, t): it may sit exactly on a
+  // neighbour's departure (touching) but not strictly inside another
+  // contact — the same `arrival < previous departure` rule as any other
+  // contact.
+  std::vector<Contact> touching{{at_s(10), Duration::seconds(5)},
+                                {at_s(15), Duration::zero()},
+                                {at_s(15), Duration::seconds(2)}};
+  EXPECT_NO_THROW(ContactSchedule{touching});
+
+  std::vector<Contact> inside{{at_s(10), Duration::seconds(5)},
+                              {at_s(12), Duration::zero()}};
+  EXPECT_THROW(ContactSchedule{inside}, std::invalid_argument);
+
+  // Zero-length contacts cover no instant but still count as arrivals.
+  const ContactSchedule s{{{at_s(10), Duration::zero()}}};
+  EXPECT_FALSE(s.active_at(at_s(10)).has_value());
+  ASSERT_TRUE(s.next_arrival_at_or_after(at_s(10)).has_value());
+  EXPECT_EQ(s.next_arrival_at_or_after(at_s(10))->arrival, at_s(10));
+  EXPECT_EQ(s.count_in(at_s(0), at_s(20)), 1u);
+}
+
 TEST(ContactSchedule, ActiveAtInsideAndOutside) {
   const ContactSchedule s{three_contacts()};
   EXPECT_FALSE(s.active_at(at_s(9.999)).has_value());

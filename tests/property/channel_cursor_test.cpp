@@ -23,9 +23,12 @@ using sim::Rng;
 using sim::TimePoint;
 
 /// Random non-overlapping schedule: gaps and lengths in microseconds,
-/// lengths strictly positive, occasional back-to-back (touching)
-/// contacts to hit the arrival == previous-departure boundary.
-ContactSchedule random_schedule(Rng& rng, std::size_t contacts) {
+/// occasional back-to-back (touching) contacts to hit the arrival ==
+/// previous-departure boundary, and — with `zero_length_rate` — contacts
+/// of zero length, whose departure equals their arrival (the case that
+/// once made the cursor skip an arrival the binary search reports).
+ContactSchedule random_schedule(Rng& rng, std::size_t contacts,
+                                double zero_length_rate = 0.0) {
   std::vector<Contact> list;
   list.reserve(contacts);
   TimePoint cursor = TimePoint::zero();
@@ -35,8 +38,11 @@ ContactSchedule random_schedule(Rng& rng, std::size_t contacts) {
       cursor += Duration::microseconds(
           1 + static_cast<std::int64_t>(rng.uniform_int(5'000'000)));
     }
-    const auto length = Duration::microseconds(
-        1 + static_cast<std::int64_t>(rng.uniform_int(3'000'000)));
+    const auto length =
+        rng.bernoulli(zero_length_rate)
+            ? Duration::zero()
+            : Duration::microseconds(
+                  1 + static_cast<std::int64_t>(rng.uniform_int(3'000'000)));
     list.push_back(Contact{cursor, length});
     cursor += length;
   }
@@ -84,7 +90,11 @@ TEST(ChannelCursorProperty, MatchesBinarySearchOnRandomQuerySequences) {
   Rng rng{20260729};
   for (int round = 0; round < 50; ++round) {
     const std::size_t contacts = rng.uniform_int(40);
-    const ContactSchedule schedule = random_schedule(rng, contacts);
+    // Odd rounds mix in zero-length and touching-heavy schedules: every
+    // boundary where the cursor's departure-based advance and the binary
+    // search's arrival-based lookup could disagree.
+    const ContactSchedule schedule =
+        random_schedule(rng, contacts, round % 2 == 1 ? 0.3 : 0.0);
     // frame_loss = 0 keeps try_deliver deterministic, so the cursor and
     // reference channels cannot diverge through their RNG streams.
     LinkParams link;
@@ -118,6 +128,24 @@ TEST(ChannelCursorProperty, MatchesBinarySearchOnRandomQuerySequences) {
           << "try_deliver mismatch at t=" << t << " round " << round;
     }
   }
+}
+
+TEST(ChannelCursorProperty, ZeroLengthContactAtTheQueryInstantIsReported) {
+  // Regression: a zero-length contact arriving exactly at t has
+  // departure() == t, so the monotone cursor (which discards departed
+  // contacts) used to step past it and report the *next* arrival, while
+  // ContactSchedule::next_arrival_at_or_after correctly returns it.
+  const TimePoint blip = TimePoint::zero() + Duration::seconds(5);
+  const ContactSchedule schedule{{Contact{blip, Duration::zero()},
+                                  Contact{blip + Duration::seconds(3),
+                                          Duration::seconds(1)}}};
+  Channel channel{schedule, LinkParams{}, Rng{1}};
+  // Covers nothing, but advances the cursor past the zero-length contact.
+  EXPECT_FALSE(channel.active_contact(blip).has_value());
+  const auto next = channel.next_arrival_at_or_after(blip);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->arrival, blip);
+  EXPECT_EQ(next->length, Duration::zero());
 }
 
 TEST(ChannelCursorProperty, StrictlyForwardSweepMatchesBinarySearch) {

@@ -6,6 +6,20 @@
 #include <vector>
 
 namespace snipr::sim {
+
+/// White-box hook: forcing a slot to the last pre-wrap generation makes
+/// the 2^32-retirement wrap testable without four billion cycles.
+struct EventQueueTestPeer {
+  static void set_slot_generation(EventQueue& q, std::uint32_t slot,
+                                  std::uint32_t generation) {
+    q.slots_[slot].generation = generation;
+  }
+  static std::uint32_t slot_generation(const EventQueue& q,
+                                       std::uint32_t slot) {
+    return q.slots_[slot].generation;
+  }
+};
+
 namespace {
 
 TimePoint at_s(double s) { return TimePoint::zero() + Duration::seconds(s); }
@@ -207,6 +221,40 @@ TEST(EventQueue, IdsStayUniqueAcrossManySlotGenerations) {
     previous = id;
   }
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, GenerationWrapSkipsTheInvalidSentinel) {
+  // Regression: generations wrap at 2^32, and generation 0 is reserved —
+  // every packed id keeps a non-zero high half, so a recycled slot can
+  // never mint an id equal to kInvalidEventId (or one cancel() would
+  // reject as invalid). Force slot 0 to the last generation and push it
+  // through a full retire cycle on both retirement paths.
+  EventQueue q;
+  const EventId first = q.schedule(at_s(1), [] {});  // slot 0, generation 1
+  ASSERT_TRUE(q.cancel(first));
+
+  EventQueueTestPeer::set_slot_generation(q, 0, 0xFFFFFFFFu);
+  const EventId last = q.schedule(at_s(1), [] {});
+  EXPECT_EQ(last >> 32, 0xFFFFFFFFull);
+  ASSERT_TRUE(q.cancel(last));  // retirement wraps: 2^32-1 -> skip 0 -> 1
+  EXPECT_EQ(EventQueueTestPeer::slot_generation(q, 0), 1U);
+
+  const EventId reborn = q.schedule(at_s(2), [] {});
+  EXPECT_NE(reborn, kInvalidEventId);
+  EXPECT_NE(reborn >> 32, 0ULL);
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(last));  // pre-wrap handle is permanently dead
+  EXPECT_TRUE(q.cancel(reborn));
+
+  // Same wrap through the pop path.
+  EventQueueTestPeer::set_slot_generation(q, 0, 0xFFFFFFFFu);
+  const EventId popped = q.schedule(at_s(3), [] {});
+  EXPECT_EQ(popped >> 32, 0xFFFFFFFFull);
+  const auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, popped);
+  EXPECT_EQ(EventQueueTestPeer::slot_generation(q, 0), 1U);
+  EXPECT_NE(q.schedule(at_s(4), [] {}), kInvalidEventId);
 }
 
 TEST(EventQueue, ManyInterleavedOperations) {

@@ -1,5 +1,7 @@
 #include "snipr/stats/histogram.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace snipr::stats {
@@ -85,6 +87,32 @@ TEST(Histogram, SampleExactlyAtHiIsOverflowNotLastBin) {
   h.add(9.9999999);  // just inside stays in the last bin
   EXPECT_DOUBLE_EQ(h.count(9), 1.0);
   EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+}
+
+TEST(Histogram, SampleOneUlpBelowHiIsTheLastBin) {
+  // The tightest [lo, hi) boundary pair: hi itself overflows, the
+  // largest representable double below hi lands in the last bin — even
+  // when (sample - lo) / bin_width rounds up to the bin count (the
+  // index clamp exists for exactly this).
+  Histogram h{0.0, 10.0, 10};
+  h.add(std::nextafter(10.0, 0.0));
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 0.0);
+
+  // Same pair on an offset range with a width that is not a power of
+  // two, where the quotient actually rounds.
+  Histogram odd{1.0, 2.0, 7};
+  odd.add(std::nextafter(2.0, 1.0));
+  odd.add(2.0);
+  EXPECT_DOUBLE_EQ(odd.count(6), 1.0);
+  EXPECT_DOUBLE_EQ(odd.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(odd.underflow(), 0.0);
+
+  // lo itself is inclusive — the mirror boundary.
+  Histogram lo_edge{1.0, 2.0, 7};
+  lo_edge.add(1.0);
+  EXPECT_DOUBLE_EQ(lo_edge.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(lo_edge.underflow(), 0.0);
 }
 
 TEST(Histogram, ModeBinTieGoesToTheLowestIndex) {

@@ -68,6 +68,63 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(OnlineStats, MergeEmptyIntoEmptyStaysEmpty) {
+  OnlineStats a;
+  OnlineStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  // An accumulator that only ever merged empties must behave exactly
+  // like a fresh one: the first real sample still seeds min/max.
+  a.add(-4.0);
+  EXPECT_DOUBLE_EQ(a.min(), -4.0);
+  EXPECT_DOUBLE_EQ(a.max(), -4.0);
+}
+
+TEST(OnlineStats, MergeWithEmptyNeverPoisonsMinMax) {
+  // The empty side's default min_/max_ of 0.0 must not leak: samples on
+  // one side of zero keep their true extrema through merges in both
+  // directions.
+  OnlineStats negatives;
+  negatives.add(-7.0);
+  negatives.add(-2.0);
+  OnlineStats empty;
+  negatives.merge(empty);
+  EXPECT_DOUBLE_EQ(negatives.min(), -7.0);
+  EXPECT_DOUBLE_EQ(negatives.max(), -2.0);
+
+  OnlineStats into_empty;
+  into_empty.merge(negatives);
+  EXPECT_DOUBLE_EQ(into_empty.min(), -7.0);
+  EXPECT_DOUBLE_EQ(into_empty.max(), -2.0);
+
+  OnlineStats positives;
+  positives.add(3.0);
+  positives.add(9.0);
+  OnlineStats empty2;
+  empty2.merge(positives);
+  EXPECT_DOUBLE_EQ(empty2.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty2.max(), 9.0);
+}
+
+TEST(OnlineStats, SnapshotRestoreRoundTripsExactly) {
+  OnlineStats s;
+  for (const double x : {2.5, -1.25, 7.75, 0.5}) s.add(x);
+  OnlineStats restored;
+  restored.restore(s.snapshot());
+  EXPECT_EQ(restored.count(), s.count());
+  EXPECT_EQ(restored.mean(), s.mean());
+  EXPECT_EQ(restored.variance(), s.variance());
+  EXPECT_EQ(restored.min(), s.min());
+  EXPECT_EQ(restored.max(), s.max());
+  // Continuing after restore is bit-identical to never snapshotting.
+  s.add(11.0);
+  restored.add(11.0);
+  EXPECT_EQ(restored.mean(), s.mean());
+  EXPECT_EQ(restored.variance(), s.variance());
+}
+
 TEST(OnlineStats, NumericallyStableForLargeOffsets) {
   // Classic catastrophic-cancellation case: huge mean, tiny variance.
   OnlineStats s;

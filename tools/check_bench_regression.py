@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_hotpath.json against the checked-in baseline.
+"""Compare a fresh bench artifact against the checked-in baseline.
 
-Reads two google-benchmark JSON files and compares every throughput
-counter (any user counter named *_per_sec) benchmark by benchmark. A
-counter more than --tolerance (default 15%) BELOW the baseline is a
-regression and fails the check; improvements are reported but never
-fail. A steady-state allocation counter (allocs_per_event /
-bytes_per_event) that is zero in the baseline but nonzero in the new run
-also fails: the zero-allocation hot path has been lost.
+Understands both artifact shapes this repo produces:
 
-Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
-The CI job running this is non-blocking (continue-on-error) — the gate
+* google-benchmark JSON ("benchmarks" array, as in BENCH_hotpath.json);
+* sweep artifacts with a "rows" array and an optional "mega" object
+  (BENCH_deployment_scale.json, BENCH_multihop_scale.json). Rows are
+  keyed by their identity fields (nodes / node_store_bytes / epochs) so
+  baseline and current rows pair up even if the sweep order changes.
+
+Three counter kinds are compared, selected by name suffix:
+
+* ``*_per_sec`` — throughput; more than --tolerance BELOW the baseline
+  is a regression. Improvements are reported but never fail.
+* ``*_per_event`` — steady-state allocation counters; a baseline of zero
+  that becomes nonzero fails (the zero-allocation hot path was lost).
+* ``*_mib`` — memory footprints; more than --tolerance ABOVE the
+  baseline is a regression (the bounded-memory plateau was lost).
+
+A baseline that yields no comparable counters at all is an error, not a
+pass: a silently empty comparison is how a gate rots. Exit status: 0 =
+within tolerance, 1 = regression, 2 = usage/IO error or empty baseline.
+The CI jobs running this are non-blocking (continue-on-error) — the gate
 exists to flag drift in the PR log, not to brick the build on a noisy
 shared runner.
 """
@@ -19,9 +30,42 @@ import argparse
 import json
 import sys
 
+# Fields that identify a sweep row across runs (order-independent).
+IDENTITY_KEYS = ("nodes", "node_store_bytes", "epochs")
+
+
+def counter_kind(key):
+    """'rate', 'alloc', 'mem', or None for non-counter fields."""
+    if key.endswith("_per_sec"):
+        return "rate"
+    if key.endswith("_per_event"):
+        return "alloc"
+    if key.endswith("_mib"):
+        return "mem"
+    return None
+
+
+def row_counters(row):
+    return {
+        key: float(value)
+        for key, value in row.items()
+        if counter_kind(key) is not None and isinstance(value, (int, float))
+    }
+
+
+def row_name(prefix, row):
+    parts = [prefix]
+    parts.extend(
+        f"{key}:{row[key]:g}" if isinstance(row[key], float)
+        else f"{key}:{row[key]}"
+        for key in IDENTITY_KEYS
+        if key in row
+    )
+    return "/".join(parts)
+
 
 def load_counters(path):
-    """Map benchmark name -> {counter: value} for rate + alloc counters.
+    """Map benchmark/row name -> {counter: value} for every counter kind.
 
     Repetition runs (--benchmark_repetitions=N emits N "iteration"
     entries under the same name) are averaged, so the gate sees the mean
@@ -35,20 +79,25 @@ def load_counters(path):
         sys.exit(2)
     sums = {}
     counts = {}
-    for bench in doc.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
-        name = bench["name"]
-        counters = {}
-        for key, value in bench.items():
-            if key.endswith("_per_sec") or key.endswith("_per_event"):
-                counters[key] = float(value)
+
+    def accumulate(name, counters):
         if not counters:
-            continue
+            return
         acc = sums.setdefault(name, {})
         for key, value in counters.items():
             acc[key] = acc.get(key, 0.0) + value
         counts[name] = counts.get(name, 0) + 1
+
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        accumulate(bench["name"], row_counters(bench))
+    for row in doc.get("rows", []):
+        accumulate(row_name("rows", row), row_counters(row))
+    mega = doc.get("mega")
+    if isinstance(mega, dict):
+        accumulate(row_name("mega", mega), row_counters(mega))
+
     return {
         name: {key: value / counts[name] for key, value in acc.items()}
         for name, acc in sums.items()
@@ -57,14 +106,22 @@ def load_counters(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="checked-in BENCH_hotpath.json")
-    parser.add_argument("current", help="freshly measured BENCH_hotpath.json")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
     parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional drop (default 0.15)")
+                        help="allowed fractional drift (default 0.15)")
     args = parser.parse_args()
 
     baseline = load_counters(args.baseline)
     current = load_counters(args.current)
+    if not baseline:
+        print(f"error: baseline {args.baseline} contains no comparable "
+              "counters — the gate would pass vacuously", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: current run {args.current} contains no comparable "
+              "counters", file=sys.stderr)
+        return 2
 
     failures = []
     for name, base_counters in sorted(baseline.items()):
@@ -77,7 +134,8 @@ def main():
             if cur is None:
                 failures.append(f"{name}/{counter}: missing from current run")
                 continue
-            if counter.endswith("_per_event"):
+            kind = counter_kind(counter)
+            if kind == "alloc":
                 if base == 0.0 and cur > 0.0:
                     failures.append(
                         f"{name}/{counter}: baseline 0, now {cur:g} — "
@@ -87,13 +145,22 @@ def main():
                 continue
             ratio = cur / base
             verdict = "ok"
-            if ratio < 1.0 - args.tolerance:
-                verdict = "REGRESSION"
-                failures.append(
-                    f"{name}/{counter}: {base:.3g} -> {cur:.3g} "
-                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
-            elif ratio > 1.0 + args.tolerance:
-                verdict = "improved"
+            if kind == "mem":
+                if ratio > 1.0 + args.tolerance:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{name}/{counter}: {base:.3g} -> {cur:.3g} MiB "
+                        f"({(ratio - 1.0) * 100.0:+.1f}%) — memory grew")
+                elif ratio < 1.0 - args.tolerance:
+                    verdict = "improved"
+            else:  # rate
+                if ratio < 1.0 - args.tolerance:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{name}/{counter}: {base:.3g} -> {cur:.3g} "
+                        f"({(ratio - 1.0) * 100.0:+.1f}%)")
+                elif ratio > 1.0 + args.tolerance:
+                    verdict = "improved"
             print(f"{name}/{counter}: {base:.3g} -> {cur:.3g} "
                   f"({(ratio - 1.0) * 100.0:+.1f}%) {verdict}")
 
@@ -103,7 +170,7 @@ def main():
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nall hot-path counters within tolerance")
+    print("\nall counters within tolerance")
     return 0
 
 
