@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstddef>
+// snipr-lint: allow(hotpath-std-function) this header is the
+// InlineCallback definition itself; <functional> is pulled in only for
+// std::bad_function_call, never for std::function storage.
 #include <functional>
 #include <new>
 #include <type_traits>
@@ -30,6 +33,8 @@ class InlineCallback {
 
   template <typename F>
     requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback>)
+  // Implicit by design: call sites pass plain lambdas, mirroring the
+  // std::function converting constructor this type replaces.
   InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
     using Fn = std::remove_cvref_t<F>;
     static_assert(sizeof(Fn) <= Capacity,

@@ -227,7 +227,8 @@ std::string BatchRunner::to_json(const std::vector<BatchRunResult>& results) {
 
   std::string out;
   out.reserve(512 + 512 * results.size());
-  out += "{\"schema\":\"snipr.batch.v1\",\"runs\":[";
+  json::open_document(out, json::kBatchSchemaV1);
+  out += "\"runs\":[";
   bool first = true;
   for (const BatchRunResult& r : results) {
     if (!first) out += ',';

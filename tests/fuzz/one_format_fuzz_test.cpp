@@ -238,7 +238,9 @@ TEST(OneFormatFuzz, CorruptedReportsNeverCrashOrEmitInvalidContacts) {
   // duplication) still parse.
   RecordProperty("iterations", static_cast<int>(iteration));
   RecordProperty("parsed_ok", static_cast<int>(parsed_ok));
-  if (time_box_s == 0.0) EXPECT_GT(parsed_ok, 0U);
+  if (time_box_s == 0.0) {
+    EXPECT_GT(parsed_ok, 0U);
+  }
 }
 
 TEST(OneFormatFuzz, UncorruptedBaseReportParses) {

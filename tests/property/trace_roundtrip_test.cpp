@@ -68,7 +68,9 @@ TEST_P(TraceRoundTrip, EstimatedProfileRecoversThePlantedRushHours) {
     const std::size_t prev = stats.slot(by_count[i - 1]).contact_count;
     const std::size_t curr = stats.slot(by_count[i]).contact_count;
     ASSERT_GE(prev, curr);
-    if (prev == curr) EXPECT_LT(by_count[i - 1], by_count[i]);
+    if (prev == curr) {
+      EXPECT_LT(by_count[i - 1], by_count[i]);
+    }
   }
 
   // 4. Peak-slot interval estimates are close to the planted 300 s truth

@@ -25,6 +25,8 @@ TEST(InlineCallbackTest, InvokingMovedFromThrowsBadFunctionCall) {
   Callback a{[] {}};
   Callback b{std::move(a)};
   b();
+  // Deliberate use-after-move: the moved-from throw IS the behaviour
+  // under test.
   // NOLINTNEXTLINE(bugprone-use-after-move)
   EXPECT_THROW(a(), std::bad_function_call);
 }
@@ -42,6 +44,7 @@ TEST(InlineCallbackTest, MoveTransfersOwnershipAndEmptiesTheSource) {
   int hits = 0;
   Callback a{[&hits] { ++hits; }};
   Callback b{std::move(a)};
+  // Deliberate use-after-move: asserting the moved-from empty state.
   EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
   ASSERT_TRUE(static_cast<bool>(b));
   b();

@@ -79,6 +79,14 @@ void* operator new[](std::size_t size, std::align_val_t align,
   return ::operator new(size, align, tag);
 }
 
+// GCC's -Wmismatched-new-delete pairs these deletes against the
+// replacement news above and flags std::free as mismatched. It is not:
+// every replacement path allocates with malloc or posix_memalign, both
+// of which are defined to be released by free ([mem.res], POSIX).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
@@ -95,3 +103,6 @@ void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

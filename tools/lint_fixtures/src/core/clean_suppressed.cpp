@@ -1,0 +1,14 @@
+// Lint self-test fixture: a justified snipr-lint allow() must silence
+// its rule — --self-test asserts this file produces no findings.
+#include <chrono>
+
+namespace snipr::core {
+
+long suppressed_now() {
+  // snipr-lint: allow(ambient-randomness) fixture proving a justified
+  // suppression is honoured; never compiled or linked.
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace snipr::core

@@ -1,0 +1,19 @@
+// Lint self-test fixture: plants a range-for over an unordered_map in
+// a JSON-emitting file. Never compiled; snipr_lint.py --self-test
+// asserts the unordered-json-iteration rule flags exactly this file.
+#include <string>
+#include <unordered_map>
+
+#include "snipr/core/json_writer.hpp"
+
+namespace snipr::core {
+
+void planted_emit(std::string& out) {
+  std::unordered_map<std::string, double> cells;
+  cells["a"] = 1.0;
+  for (const auto& cell : cells) {  // order is seed-dependent
+    json::append_field(out, cell.first.c_str(), cell.second);
+  }
+}
+
+}  // namespace snipr::core

@@ -1,0 +1,11 @@
+// Lint self-test fixture: plants a bare NOLINT with no justification.
+// Never compiled; snipr_lint.py --self-test asserts the
+// nolint-justification rule flags exactly this file.
+
+namespace snipr::core {
+
+int planted_magic() {
+  return 42;  // NOLINT(readability-magic-numbers)
+}
+
+}  // namespace snipr::core

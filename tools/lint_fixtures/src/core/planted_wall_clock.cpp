@@ -1,0 +1,13 @@
+// Lint self-test fixture: plants a wall-clock read in library code.
+// Never compiled; snipr_lint.py --self-test asserts the
+// ambient-randomness rule flags exactly this file.
+#include <chrono>
+
+namespace snipr::core {
+
+long planted_now() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace snipr::core

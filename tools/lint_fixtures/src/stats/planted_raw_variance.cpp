@@ -1,0 +1,19 @@
+// Lint self-test fixture: plants a naive sum-of-squares accumulation.
+// Never compiled; snipr_lint.py --self-test asserts the
+// raw-variance-accumulation rule flags exactly this file.
+#include <vector>
+
+namespace snipr::stats {
+
+double planted_variance(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;  // cancels catastrophically; OnlineStats required
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  return sum_sq / static_cast<double>(xs.size()) - mean * mean;
+}
+
+}  // namespace snipr::stats

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Single entry point for the static-analysis layer, so a local run is
+# byte-for-byte the command CI runs (DESIGN.md "Static analysis &
+# invariants").
+#
+#   tools/run_static_analysis.sh [--stage tidy|lint|all] [--build-dir DIR]
+#
+# Stages:
+#   tidy — clang-tidy over every TU in the compile database, profile
+#          from .clang-tidy, warnings-as-errors. Needs clang-tidy (and
+#          run-clang-tidy if available, for parallelism).
+#   lint — snipr-lint self-test + clean-tree scan (python3 only).
+#   all  — both (default).
+#
+# The build dir must have been configured with CMake (compile_commands
+# is exported unconditionally); any configuration works, tidy findings
+# do not depend on build type.
+set -euo pipefail
+
+stage=all
+build_dir=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stage) stage="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+compile_db="$build_dir/compile_commands.json"
+
+if [[ ! -f "$compile_db" ]]; then
+  echo "error: $compile_db not found — configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "error: clang-tidy not on PATH (apt install clang-tidy)" >&2
+    exit 2
+  fi
+  echo "== clang-tidy ($(clang-tidy --version | head -1 | xargs)) =="
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$build_dir" -quiet \
+      "$repo_root/(src|tools|bench|tests|examples)/.*"
+  else
+    # Sequential fallback: every TU in the database, same profile.
+    python3 - "$compile_db" <<'PY' | xargs -r clang-tidy -p "$build_dir" -quiet
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    print(entry["file"])
+PY
+  fi
+  echo "clang-tidy: clean"
+}
+
+run_lint() {
+  echo "== snipr-lint =="
+  python3 tools/snipr_lint.py --self-test
+  python3 tools/snipr_lint.py --root "$repo_root" --compile-db "$compile_db"
+}
+
+case "$stage" in
+  tidy) run_tidy ;;
+  lint) run_lint ;;
+  all) run_lint; run_tidy ;;
+  *) echo "unknown stage: $stage (tidy|lint|all)" >&2; exit 2 ;;
+esac
