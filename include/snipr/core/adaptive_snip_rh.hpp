@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "snipr/core/exploration_policy.hpp"
 #include "snipr/core/rush_hour_learner.hpp"
 #include "snipr/core/snip_at.hpp"
 #include "snipr/core/snip_rh.hpp"
@@ -15,6 +16,12 @@
 /// tracking a drifting pattern, SNIP-AT continues in the background at a
 /// much smaller duty; when the learned ranking changes, the rush-hour mask
 /// is refreshed at the next epoch boundary.
+///
+/// The learner only ever sees what the node detected (censored feedback),
+/// so an adopted mask starves out-of-mask slots of observations. An
+/// ExplorationPolicy (exploration_policy.hpp) composes with the refresh to
+/// guarantee those slots still receive deliberate probing effort — or, for
+/// the optimistic kind, trial membership in the mask itself.
 
 namespace snipr::core {
 
@@ -35,6 +42,9 @@ struct AdaptiveSnipRhConfig {
   /// from flickering on single-sample noise while still following a real
   /// shift within a few epochs. 0 disables hysteresis.
   double mask_hysteresis{0.3};
+  /// Exploration over out-of-mask slots; the default kind (kNone) keeps
+  /// the legacy tracker-only behaviour bit-for-bit.
+  ExplorationConfig exploration{};
   /// SNIP-RH parameters for the exploit phase.
   SnipRhConfig rh{};
 };
@@ -46,9 +56,10 @@ class AdaptiveSnipRh final : public node::Scheduler {
 
   [[nodiscard]] node::SchedulerDecision on_wakeup(
       const node::SensorContext& ctx) override;
+  void on_probe_detected(sim::TimePoint when) override;
   void on_contact_probed(const node::ProbedContactObservation& obs) override;
   void on_epoch_start(std::int64_t epoch_index) override;
-  [[nodiscard]] std::string name() const override { return "SNIP-RH/adaptive"; }
+  [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] bool learning() const noexcept { return learning_; }
   [[nodiscard]] const RushHourMask& current_mask() const noexcept {
@@ -57,17 +68,31 @@ class AdaptiveSnipRh final : public node::Scheduler {
   [[nodiscard]] const RushHourLearner& learner() const noexcept {
     return learner_;
   }
+  /// The exploration slots planned for the current epoch (inactive until
+  /// the first mask is adopted, and always inactive for kNone/kOptimistic).
+  [[nodiscard]] const ExplorationPlan& exploration_plan() const noexcept {
+    return plan_;
+  }
 
  private:
+  /// Mask to adopt/refresh against: the learner's ranking, viewed through
+  /// the exploration policy's (possibly optimistic) score lens.
+  [[nodiscard]] RushHourMask ranked_mask() const;
+
   AdaptiveSnipRhConfig config_;
   RushHourLearner learner_;
-  SnipAt learn_probe_;   ///< learning-phase SNIP-AT
-  SnipAt track_probe_;   ///< background tracker during exploit phase
+  SnipAt learn_probe_;    ///< learning-phase SNIP-AT
+  SnipAt track_probe_;    ///< background tracker during exploit phase
+  SnipAt explore_probe_;  ///< duty floor inside planned exploration slots
   SnipRh rh_;
+  ExplorationPolicy policy_;
+  ExplorationPlan plan_;
   bool learning_{true};
   /// Alternates RH and tracker decisions so both make progress; the
   /// tracker's tiny duty means it rarely wins the earlier wakeup anyway.
   sim::TimePoint next_track_due_{sim::TimePoint::zero()};
+  /// Same pacing for the exploration duty floor.
+  sim::TimePoint next_explore_due_{sim::TimePoint::zero()};
 };
 
 }  // namespace snipr::core

@@ -29,6 +29,10 @@ inline constexpr const char* kBenchDeploymentScaleSchemaV1 =
     "snipr.bench.deployment_scale.v1";
 inline constexpr const char* kBenchMultihopScaleSchemaV1 =
     "snipr.bench.multihop_scale.v1";
+/// Per-policy regret vs the clairvoyant SNIP-OPT benchmark
+/// (bench_regret). Regret counters gate upward in
+/// tools/check_bench_regression.py: more regret is a regression.
+inline constexpr const char* kBenchRegretSchemaV1 = "snipr.bench.regret.v1";
 
 /// Open a document with its schema marker: `{"schema":"<schema>",`.
 inline void open_document(std::string& out, const char* schema) {

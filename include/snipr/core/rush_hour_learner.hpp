@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "snipr/core/rush_hour_mask.hpp"
@@ -16,6 +17,15 @@
 /// pattern (seasonal rush-hour drift) is tracked — and emits a mask of the
 /// top-k slots.
 ///
+/// **Censoring contract.** Everything fed in here must be something the
+/// node could actually observe at its duty cycle: record_probe() takes
+/// *detected* contacts (at their detection instant), record_effort() the
+/// radio-on time actually spent. Ground-truth arrival lists never enter —
+/// a learner fed arrivals it slept through would look clairvoyant in
+/// simulation and fall apart on hardware (the snooze paper's trap,
+/// arXiv:1709.09551). tools/snipr_lint.py (`censored-feedback`) enforces
+/// this at the token level.
+///
 /// Scoring has two modes:
 ///  - Count mode (no effort recorded): a slot's epoch sample is its raw
 ///    probe count. Valid while probing effort is uniform across slots
@@ -26,7 +36,11 @@
 ///    SNIP-RH exploits a mask (knee duty inside, tiny tracker duty
 ///    outside). Without this correction an adopted mask self-reinforces
 ///    and a shifted pattern is never relearned. Slots with zero effort in
-///    an epoch carry no information and keep their score.
+///    an epoch carry no information and keep their score. Effort mode is
+///    sticky: once any effort has been recorded, a later epoch with zero
+///    effort *and* zero counts is a zero-information epoch (radio never
+///    on) and holds every score — it must not fall back to count mode and
+///    EWMA every slot toward a 0.0 the node never observed.
 ///
 /// Initialisation is tracked per slot: a slot's first real sample *seeds*
 /// its score outright, and only later samples are EWMA-blended. A global
@@ -53,11 +67,14 @@ class RushHourLearner {
                   std::size_t rush_slots, double epoch_weight = 0.3,
                   double effort_prior_s = 2.0);
 
-  /// Record one probed contact at time `t`.
+  /// Record one *detected* contact at its detection instant `t`. Call at
+  /// detection time, not transfer completion: a transfer that straddles
+  /// finish_epoch() would otherwise push the count into the epoch after
+  /// the one whose effort paid for it.
   void record_probe(sim::TimePoint t);
 
   /// Record probing effort (radio-on time) spent at time `t`. Calling this
-  /// at least once per epoch switches the epoch to effort-normalised
+  /// at least once switches the learner permanently to effort-normalised
   /// scoring.
   void record_effort(sim::TimePoint t, sim::Duration radio_on);
 
@@ -69,12 +86,38 @@ class RushHourLearner {
   [[nodiscard]] std::size_t epochs_observed() const noexcept {
     return epochs_;
   }
+  [[nodiscard]] sim::Duration epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return scores_.size();
+  }
   /// Long-term per-slot scores (EWMA of per-epoch probe counts).
   [[nodiscard]] const std::vector<double>& scores() const noexcept {
     return scores_;
   }
-  /// Slots ordered by decreasing score (ties by index).
+  /// Cumulative radio-on seconds recorded per slot since construction —
+  /// the exploration policies' notion of how well a slot is sampled.
+  [[nodiscard]] const std::vector<double>& total_effort_s() const noexcept {
+    return total_effort_s_;
+  }
+  /// Per slot: epochs that contributed a real sample to its score.
+  [[nodiscard]] const std::vector<std::uint32_t>& slot_samples()
+      const noexcept {
+    return slot_samples_;
+  }
+  /// Per slot: has the score been seeded by at least one real sample?
+  /// (std::vector<char>, not <bool>, for addressable flags.)
+  [[nodiscard]] const std::vector<char>& slot_seeded() const noexcept {
+    return slot_seeded_;
+  }
+
+  /// Slots ordered by decreasing score. Ties break sampled-before-
+  /// unsampled, then by index: a slot with zero recorded effort carries no
+  /// evidence and must never outrank a slot that was actually probed.
   [[nodiscard]] std::vector<contact::SlotIndex> slots_by_score() const;
+  /// The same ranking rule over caller-supplied scores (exploration
+  /// policies rank optimistic score views with identical tie-breaking).
+  [[nodiscard]] static std::vector<contact::SlotIndex> rank_slots(
+      const std::vector<double>& scores, const std::vector<char>& seeded);
   /// Mask marking the top `rush_slots` slots.
   [[nodiscard]] RushHourMask mask() const;
 
@@ -88,9 +131,10 @@ class RushHourLearner {
   std::vector<double> scores_;
   std::vector<double> current_counts_;
   std::vector<double> current_effort_s_;
-  // Per-slot: has this slot's score been seeded by a real sample yet?
-  // (std::vector<char>, not <bool>, for addressable flags.)
+  std::vector<double> total_effort_s_;
+  std::vector<std::uint32_t> slot_samples_;
   std::vector<char> slot_seeded_;
+  bool effort_mode_{false};  ///< sticky: any record_effort() ever seen
   std::size_t epochs_{0};
 };
 

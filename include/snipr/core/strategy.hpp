@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "snipr/core/exploration_policy.hpp"
 #include "snipr/core/scenario.hpp"
 #include "snipr/node/scheduler.hpp"
 
@@ -51,8 +52,11 @@ enum class Strategy {
 /// the given ζtarget and Φmax (exactly the paper's methodology for
 /// Figs. 7-8); RH and adaptive take their duty online from the scenario's
 /// Ton and contact-length prior and ignore the planning inputs.
+/// `exploration` applies to kAdaptive only (how the learner keeps sampling
+/// slots its adopted mask would otherwise censor); other strategies ignore
+/// it, and the default kNone keeps the legacy behaviour.
 [[nodiscard]] std::unique_ptr<node::Scheduler> make_scheduler(
     const RoadsideScenario& scenario, Strategy strategy, double zeta_target_s,
-    double phi_max_s);
+    double phi_max_s, const ExplorationConfig& exploration = {});
 
 }  // namespace snipr::core

@@ -46,6 +46,11 @@ struct FleetSpec {
   core::Strategy strategy{core::Strategy::kSnipRh};
   double zeta_target_s{16.0};
 
+  /// Exploration over censored slots, applied when `strategy` is
+  /// kAdaptive (ignored otherwise). Default kNone preserves the legacy
+  /// tracker-only adaptive behaviour.
+  core::ExplorationConfig exploration{};
+
   /// Store-and-forward collection on top of the detected contacts.
   /// Engaged → the outcome gains a network section and the JSON schema
   /// moves to `snipr.fleet.v2`. Road workloads only: a trace replay has

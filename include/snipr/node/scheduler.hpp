@@ -59,7 +59,18 @@ class Scheduler {
   [[nodiscard]] virtual SchedulerDecision on_wakeup(
       const SensorContext& ctx) = 0;
 
-  /// Called after each successfully probed contact (learning hook).
+  /// Called synchronously the instant a new contact is detected (both
+  /// sides aware), before any transfer runs. This is the censored-
+  /// feedback hook: slot-occupancy learners must count detections here,
+  /// at detection time, so a transfer that straddles an epoch boundary
+  /// cannot push the count into the epoch after the one whose probing
+  /// effort produced it. Fires exactly once per probed contact — a
+  /// re-beacon inside an already-probed contact does not repeat it.
+  virtual void on_probe_detected(sim::TimePoint when);
+
+  /// Called after each successfully probed contact's transfer ends
+  /// (learning hook for quantities only known at completion: observed
+  /// length, bytes uploaded).
   virtual void on_contact_probed(const ProbedContactObservation& obs);
 
   /// Called at each epoch boundary, before the budget resets.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace snipr::core {
 
@@ -11,11 +12,22 @@ AdaptiveSnipRh::AdaptiveSnipRh(sim::Duration epoch, std::size_t slot_count,
       learner_{epoch, slot_count, config.rush_slots, config.score_weight},
       learn_probe_{config.learning_duty, config.rh.ton},
       track_probe_{std::max(config.tracking_duty, 1e-9), config.rh.ton},
-      rh_{RushHourMask{epoch, slot_count}, config.rh} {
+      explore_probe_{std::max(config.exploration.explore_duty, 1e-9),
+                     config.rh.ton},
+      rh_{RushHourMask{epoch, slot_count}, config.rh},
+      policy_{config.exploration} {
   if (config.learning_epochs == 0) {
     throw std::invalid_argument(
         "AdaptiveSnipRh: need at least one learning epoch");
   }
+}
+
+std::string AdaptiveSnipRh::name() const {
+  if (policy_.kind() == ExplorationPolicyKind::kNone) {
+    return "SNIP-RH/adaptive";
+  }
+  return std::string{"SNIP-RH/adaptive+"} +
+         std::string{exploration_policy_kind_id(policy_.kind())};
 }
 
 node::SchedulerDecision AdaptiveSnipRh::on_wakeup(
@@ -44,36 +56,80 @@ node::SchedulerDecision AdaptiveSnipRh::on_wakeup(
                   config_.rh.ton)};
     }
   }
+  // Exploration duty floor: inside a planned exploration slot the node
+  // probes at explore_duty regardless of the rush-hour mask, so slots the
+  // mask censors still produce (effort, detection) samples the learner
+  // can rank. Same alternation discipline as the tracker.
+  if (plan_.active && plan_.mask.is_rush(ctx.now) &&
+      ctx.now >= next_explore_due_) {
+    const node::SchedulerDecision ex = explore_probe_.on_wakeup(ctx);
+    if (ex.probe) {
+      next_explore_due_ = ctx.now + ex.next_wakeup;
+      learner_.record_effort(ctx.now, config_.rh.ton);
+      const node::SchedulerDecision rh = rh_.on_wakeup(ctx);
+      return {.probe = true,
+              .next_wakeup = std::max(
+                  std::min(ex.next_wakeup, rh.next_wakeup), config_.rh.ton)};
+    }
+  }
   const node::SchedulerDecision rh = rh_.on_wakeup(ctx);
   if (rh.probe) learner_.record_effort(ctx.now, config_.rh.ton);
+  sim::Duration next = rh.next_wakeup;
   if (config_.tracking_duty > 0.0) {
     const sim::Duration until_track =
         next_track_due_ > ctx.now ? next_track_due_ - ctx.now
                                   : sim::Duration::seconds(1);
-    return {.probe = rh.probe,
-            .next_wakeup = std::min(rh.next_wakeup, until_track)};
+    next = std::min(next, until_track);
   }
-  return rh;
+  if (plan_.active) {
+    sim::Duration until_explore = sim::Duration::seconds(1);
+    if (plan_.mask.is_rush(ctx.now)) {
+      if (next_explore_due_ > ctx.now) until_explore = next_explore_due_ - ctx.now;
+    } else if (const auto start = plan_.mask.next_rush_start(ctx.now)) {
+      until_explore = std::max(*start - ctx.now, sim::Duration::seconds(1));
+    }
+    next = std::min(next, until_explore);
+  }
+  return {.probe = rh.probe, .next_wakeup = next};
+}
+
+void AdaptiveSnipRh::on_probe_detected(sim::TimePoint when) {
+  learner_.record_probe(when);
 }
 
 void AdaptiveSnipRh::on_contact_probed(
     const node::ProbedContactObservation& obs) {
-  learner_.record_probe(obs.probe_time);
   rh_.on_contact_probed(obs);
+}
+
+RushHourMask AdaptiveSnipRh::ranked_mask() const {
+  if (!policy_.inflates_scores()) return learner_.mask();
+  const std::vector<double> scores = policy_.effective_scores(learner_);
+  return RushHourMask::top_k(
+      learner_.epoch(), learner_.slot_count(),
+      RushHourLearner::rank_slots(scores, learner_.slot_seeded()),
+      config_.rush_slots);
 }
 
 void AdaptiveSnipRh::on_epoch_start(std::int64_t /*epoch_index*/) {
   learner_.finish_epoch();
   if (learning_) {
     if (learner_.epochs_observed() >= config_.learning_epochs) {
-      rh_.set_mask(learner_.mask());
+      rh_.set_mask(ranked_mask());
       learning_ = false;
+      plan_ = policy_.plan_epoch(learner_, rh_.mask());
     }
     return;
   }
   // Exploit phase: refresh the mask with hysteresis — an outsider slot
   // must beat the weakest incumbent by the configured margin to enter.
-  const std::vector<double>& scores = learner_.scores();
+  // Optimistic exploration inflates under-explored slots' scores here, so
+  // the same hysteresis machinery grants them trial membership.
+  const std::vector<double> optimistic =
+      policy_.inflates_scores() ? policy_.effective_scores(learner_)
+                                : std::vector<double>{};
+  const std::vector<double>& scores =
+      policy_.inflates_scores() ? optimistic : learner_.scores();
   RushHourMask mask = rh_.mask();
   const double margin = 1.0 + config_.mask_hysteresis;
   for (;;) {
@@ -95,6 +151,7 @@ void AdaptiveSnipRh::on_epoch_start(std::int64_t /*epoch_index*/) {
     mask.set(strongest, true);
   }
   rh_.set_mask(std::move(mask));
+  plan_ = policy_.plan_epoch(learner_, rh_.mask());
 }
 
 }  // namespace snipr::core

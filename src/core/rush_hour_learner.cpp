@@ -16,6 +16,8 @@ RushHourLearner::RushHourLearner(sim::Duration epoch, std::size_t slot_count,
       scores_(slot_count, 0.0),
       current_counts_(slot_count, 0.0),
       current_effort_s_(slot_count, 0.0),
+      total_effort_s_(slot_count, 0.0),
+      slot_samples_(slot_count, 0),
       slot_seeded_(slot_count, 0) {
   if (effort_prior_s < 0.0) {
     throw std::invalid_argument(
@@ -55,48 +57,74 @@ void RushHourLearner::record_probe(sim::TimePoint t) {
 
 void RushHourLearner::record_effort(sim::TimePoint t,
                                     sim::Duration radio_on) {
+  effort_mode_ = true;
   current_effort_s_[slot_index(t)] += radio_on.to_seconds();
 }
 
 void RushHourLearner::finish_epoch() {
   double total_effort = 0.0;
+  double total_counts = 0.0;
   for (const double e : current_effort_s_) total_effort += e;
-  const bool effort_mode = total_effort > 0.0;
+  for (const double c : current_counts_) total_counts += c;
 
+  // An effort-mode learner whose radio never switched on this epoch
+  // (budget gone at the boundary, tracking disabled and no rush slot
+  // reached) learned nothing: hold every score. Falling back to count
+  // mode here would seed unseeded slots at 0.0 and EWMA every seeded
+  // slot toward a zero the node never observed — the cold-start bias
+  // all over again, one layer up.
+  const bool zero_information =
+      effort_mode_ && total_effort <= 0.0 && total_counts <= 0.0;
+  const bool effort_epoch = total_effort > 0.0;
+
+  if (!zero_information) {
+    for (std::size_t s = 0; s < scores_.size(); ++s) {
+      double sample = 0.0;
+      if (effort_epoch) {
+        if (current_effort_s_[s] <= 0.0) continue;  // no information: hold
+        sample =
+            current_counts_[s] / (current_effort_s_[s] + effort_prior_s_);
+      } else {
+        sample = current_counts_[s];
+      }
+      // A slot's first real sample seeds its score; only later samples are
+      // EWMA-blended. Seeding is per slot: a slot skipped above (no effort,
+      // no information) must not be treated as initialised-at-0.0, or its
+      // eventual first sample would be damped by epoch_weight_ against a
+      // prior that was never observed.
+      if (slot_seeded_[s] == 0) {
+        scores_[s] = sample;
+        slot_seeded_[s] = 1;
+      } else {
+        scores_[s] += epoch_weight_ * (sample - scores_[s]);
+      }
+      ++slot_samples_[s];
+    }
+  }
   for (std::size_t s = 0; s < scores_.size(); ++s) {
-    double sample = 0.0;
-    if (effort_mode) {
-      if (current_effort_s_[s] <= 0.0) continue;  // no information: hold
-      sample =
-          current_counts_[s] / (current_effort_s_[s] + effort_prior_s_);
-    } else {
-      sample = current_counts_[s];
-    }
-    // A slot's first real sample seeds its score; only later samples are
-    // EWMA-blended. Seeding is per slot: a slot skipped above (no effort,
-    // no information) must not be treated as initialised-at-0.0, or its
-    // eventual first sample would be damped by epoch_weight_ against a
-    // prior that was never observed.
-    if (slot_seeded_[s] == 0) {
-      scores_[s] = sample;
-      slot_seeded_[s] = 1;
-    } else {
-      scores_[s] += epoch_weight_ * (sample - scores_[s]);
-    }
+    total_effort_s_[s] += current_effort_s_[s];
   }
   std::fill(current_counts_.begin(), current_counts_.end(), 0.0);
   std::fill(current_effort_s_.begin(), current_effort_s_.end(), 0.0);
   ++epochs_;
 }
 
-std::vector<contact::SlotIndex> RushHourLearner::slots_by_score() const {
-  std::vector<contact::SlotIndex> order(scores_.size());
+std::vector<contact::SlotIndex> RushHourLearner::rank_slots(
+    const std::vector<double>& scores, const std::vector<char>& seeded) {
+  std::vector<contact::SlotIndex> order(scores.size());
   std::iota(order.begin(), order.end(), contact::SlotIndex{0});
   std::stable_sort(order.begin(), order.end(),
-                   [this](contact::SlotIndex a, contact::SlotIndex b) {
-                     return scores_[a] > scores_[b];
+                   [&](contact::SlotIndex a, contact::SlotIndex b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     // Evidence beats absence-of-evidence on a tied score;
+                     // stable_sort keeps index order within equal pairs.
+                     return seeded[a] > seeded[b];
                    });
   return order;
+}
+
+std::vector<contact::SlotIndex> RushHourLearner::slots_by_score() const {
+  return rank_slots(scores_, slot_seeded_);
 }
 
 RushHourMask RushHourLearner::mask() const {

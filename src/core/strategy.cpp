@@ -47,7 +47,7 @@ std::optional<Strategy> parse_strategy(std::string_view id) noexcept {
 
 std::unique_ptr<node::Scheduler> make_scheduler(
     const RoadsideScenario& scenario, Strategy strategy, double zeta_target_s,
-    double phi_max_s) {
+    double phi_max_s, const ExplorationConfig& exploration) {
   const sim::Duration ton = sim::Duration::seconds(scenario.snip.ton_s);
   switch (strategy) {
     case Strategy::kSnipAt: {
@@ -71,6 +71,7 @@ std::unique_ptr<node::Scheduler> make_scheduler(
       AdaptiveSnipRhConfig config;
       config.rh.ton = ton;
       config.rh.initial_tcontact_s = scenario.tcontact_s;
+      config.exploration = exploration;
       return std::make_unique<AdaptiveSnipRh>(scenario.profile.epoch(),
                                               scenario.profile.slot_count(),
                                               config);

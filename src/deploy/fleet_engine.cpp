@@ -190,7 +190,7 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
   const double phi_max_s = config.deployment.node.budget_limit.to_seconds();
   const SchedulerFactory factory = [&](std::size_t) {
     return core::make_scheduler(scenario, spec.strategy, spec.zeta_target_s,
-                                phi_max_s);
+                                phi_max_s, spec.exploration);
   };
 
   if (const TraceWorkload* trace = spec.trace_workload()) {

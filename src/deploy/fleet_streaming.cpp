@@ -219,7 +219,8 @@ ShardResult run_streaming_shard(StreamingInputs& in, std::size_t begin,
                                                  in.deployment.link, rng);
     w.sink = std::make_unique<node::MobileNode>();
     w.scheduler = core::make_scheduler(*in.scenario, in.spec->strategy,
-                                       in.spec->zeta_target_s, phi_max_s);
+                                       in.spec->zeta_target_s, phi_max_s,
+                                       in.spec->exploration);
     w.sensor = std::make_unique<node::SensorNode>(
         simulator, *w.channel, *w.sink, *w.scheduler, node_config, block,
         i - begin);

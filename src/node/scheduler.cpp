@@ -2,6 +2,8 @@
 
 namespace snipr::node {
 
+void Scheduler::on_probe_detected(sim::TimePoint /*when*/) {}
+
 void Scheduler::on_contact_probed(const ProbedContactObservation& /*obs*/) {}
 
 void Scheduler::on_epoch_start(std::int64_t /*epoch_index*/) {}

@@ -167,6 +167,9 @@ void SensorNode::snip_wakeup() {
   const bool new_session =
       block_->last_probed_arrival_us(lane_) != active->arrival.count();
   block_->last_probed_arrival_us(lane_) = active->arrival.count();
+  // Detection is observable now; learners bucket it into the epoch whose
+  // effort paid for it, however long the transfer runs.
+  if (new_session) scheduler_.on_probe_detected(reply_end);
   begin_transfer(*active, reply_end, last_next_wakeup, new_session);
 }
 
@@ -232,6 +235,7 @@ void SensorNode::mip_wakeup() {
   const bool new_session =
       block_->last_probed_arrival_us(lane_) != cand->arrival.count();
   block_->last_probed_arrival_us(lane_) = cand->arrival.count();
+  if (new_session) scheduler_.on_probe_detected(aware);
   begin_transfer(*cand, aware, last_next_wakeup, new_session);
 }
 

@@ -19,6 +19,10 @@ SensorContext make_ctx(double hours, double buffer = 1e6) {
   return ctx;
 }
 
+TimePoint detect_at(double hours) {
+  return TimePoint::zero() + Duration::seconds(hours * 3600.0);
+}
+
 ProbedContactObservation probe_at(double hours) {
   ProbedContactObservation obs;
   obs.probe_time = TimePoint::zero() + Duration::seconds(hours * 3600.0);
@@ -51,10 +55,10 @@ TEST(AdaptiveSnipRh, AdoptsLearnedMaskAfterLearningEpochs) {
   AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
   for (int day = 0; day < 2; ++day) {
     for (int i = 0; i < 12; ++i) {
-      sched.on_contact_probed(probe_at(day * 24 + 7.5));
-      sched.on_contact_probed(probe_at(day * 24 + 17.5));
+      sched.on_probe_detected(detect_at(day * 24 + 7.5));
+      sched.on_probe_detected(detect_at(day * 24 + 17.5));
     }
-    sched.on_contact_probed(probe_at(day * 24 + 3.5));
+    sched.on_probe_detected(detect_at(day * 24 + 3.5));
     sched.on_epoch_start(day + 1);
   }
   EXPECT_FALSE(sched.learning());
@@ -74,8 +78,8 @@ TEST(AdaptiveSnipRh, TracksSeasonalShift) {
   // Learn {7, 17} first.
   for (int day = 0; day < 2; ++day) {
     for (int i = 0; i < 12; ++i) {
-      sched.on_contact_probed(probe_at(day * 24 + 7.5));
-      sched.on_contact_probed(probe_at(day * 24 + 17.5));
+      sched.on_probe_detected(detect_at(day * 24 + 7.5));
+      sched.on_probe_detected(detect_at(day * 24 + 17.5));
     }
     sched.on_epoch_start(day + 1);
   }
@@ -83,8 +87,8 @@ TEST(AdaptiveSnipRh, TracksSeasonalShift) {
   // The pattern shifts two hours later for a week.
   for (int day = 2; day < 9; ++day) {
     for (int i = 0; i < 12; ++i) {
-      sched.on_contact_probed(probe_at(day * 24 + 9.5));
-      sched.on_contact_probed(probe_at(day * 24 + 19.5));
+      sched.on_probe_detected(detect_at(day * 24 + 9.5));
+      sched.on_probe_detected(detect_at(day * 24 + 19.5));
     }
     sched.on_epoch_start(day + 1);
   }
@@ -98,7 +102,7 @@ TEST(AdaptiveSnipRh, BackgroundTrackerProbesOffPeak) {
   cfg.tracking_duty = 0.0001;
   AdaptiveSnipRh sched{Duration::hours(24), 24, cfg};
   for (int day = 0; day < 2; ++day) {
-    sched.on_contact_probed(probe_at(day * 24 + 7.5));
+    sched.on_probe_detected(detect_at(day * 24 + 7.5));
     sched.on_epoch_start(day + 1);
   }
   ASSERT_FALSE(sched.learning());
@@ -113,6 +117,81 @@ TEST(AdaptiveSnipRh, BackgroundTrackerProbesOffPeak) {
 TEST(AdaptiveSnipRh, NameReflectsVariant) {
   AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
   EXPECT_EQ(sched.name(), "SNIP-RH/adaptive");
+  AdaptiveSnipRhConfig cfg = quick_config();
+  cfg.exploration.kind = ExplorationPolicyKind::kEpsilonFloor;
+  AdaptiveSnipRh eps{Duration::hours(24), 24, cfg};
+  EXPECT_EQ(eps.name(), "SNIP-RH/adaptive+eps-floor");
+}
+
+TEST(AdaptiveSnipRh, TrackingDutyZeroIsSafeAndFreezesTheMask) {
+  // Regression: duty 0 must disable the tracker outright — not divide by
+  // zero inside SNIP-AT's cycle = Ton/duty — and the node must simply
+  // sleep through off-peak hours.
+  AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
+  for (int day = 0; day < 2; ++day) {
+    sched.on_probe_detected(detect_at(day * 24 + 7.5));
+    sched.on_probe_detected(detect_at(day * 24 + 17.5));
+    sched.on_epoch_start(day + 1);
+  }
+  ASSERT_FALSE(sched.learning());
+  for (int i = 0; i < 50; ++i) {
+    const auto d = sched.on_wakeup(make_ctx(10 * 24 + 3.0 + i * 0.01));
+    EXPECT_FALSE(d.probe);
+    EXPECT_GT(d.next_wakeup, Duration::zero());
+    EXPECT_LT(d.next_wakeup, Duration::hours(25));
+  }
+  // With no tracker and no exploration the censored mask cannot move:
+  // out-of-mask slots produce no samples, so their scores stay zero and
+  // the hysteresis never admits them.
+  for (int day = 2; day < 8; ++day) {
+    sched.on_epoch_start(day + 1);
+  }
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(7));
+  EXPECT_TRUE(sched.current_mask().is_rush_slot(17));
+}
+
+TEST(AdaptiveSnipRh, CompletionObservationsNeverReachTheLearner) {
+  // The censoring contract: on_contact_probed carries transfer metadata
+  // for SNIP-RH's Tcontact estimate; the learner's per-slot counts are
+  // fed only via on_probe_detected at detection time. A completion-side
+  // feed would double-count and attribute straddling transfers to the
+  // wrong epoch.
+  AdaptiveSnipRh sched{Duration::hours(24), 24, quick_config()};
+  const auto before = sched.learner().scores();
+  for (int i = 0; i < 20; ++i) {
+    sched.on_contact_probed(probe_at(7.5));
+  }
+  EXPECT_EQ(sched.learner().scores(), before);
+}
+
+TEST(AdaptiveSnipRh, ExplorationFloorProbesPlannedCensoredSlot) {
+  AdaptiveSnipRhConfig cfg = quick_config();
+  cfg.exploration.kind = ExplorationPolicyKind::kEpsilonFloor;
+  cfg.exploration.epsilon = 0.125;
+  cfg.exploration.explore_duty = 0.002;
+  AdaptiveSnipRh sched{Duration::hours(24), 24, cfg};
+  EXPECT_FALSE(sched.exploration_plan().active);  // nothing to plan yet
+  for (int day = 0; day < 2; ++day) {
+    sched.on_probe_detected(detect_at(day * 24 + 7.5));
+    sched.on_probe_detected(detect_at(day * 24 + 17.5));
+    sched.on_epoch_start(day + 1);
+  }
+  ASSERT_FALSE(sched.learning());
+  const ExplorationPlan& plan = sched.exploration_plan();
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.duty, 0.002);
+  EXPECT_FALSE(plan.mask.is_rush_slot(7));
+  EXPECT_FALSE(plan.mask.is_rush_slot(17));
+  // Inside a planned slot the duty floor probes even though SNIP-RH
+  // would sleep there.
+  std::size_t planned = 24;
+  for (std::size_t s = 0; s < 24 && planned == 24; ++s) {
+    if (plan.mask.is_rush_slot(s)) planned = s;
+  }
+  ASSERT_LT(planned, 24U);
+  const auto d =
+      sched.on_wakeup(make_ctx(10 * 24 + static_cast<double>(planned) + 0.5));
+  EXPECT_TRUE(d.probe);
 }
 
 TEST(AdaptiveSnipRh, Validation) {

@@ -1,0 +1,184 @@
+#include "snipr/core/exploration_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace snipr::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_h(double hours) {
+  return TimePoint::zero() + Duration::seconds(hours * 3600.0);
+}
+
+RushHourLearner make_learner() {
+  return RushHourLearner{Duration::hours(24), 24, 4};
+}
+
+ExplorationConfig config_of(ExplorationPolicyKind kind) {
+  ExplorationConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+TEST(ExplorationPolicy, KindIdsRoundTrip) {
+  for (const auto kind :
+       {ExplorationPolicyKind::kNone, ExplorationPolicyKind::kEpsilonFloor,
+        ExplorationPolicyKind::kOptimistic, ExplorationPolicyKind::kUcb}) {
+    const auto parsed =
+        parse_exploration_policy_kind(exploration_policy_kind_id(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_exploration_policy_kind("thompson").has_value());
+}
+
+TEST(ExplorationPolicy, Validation) {
+  ExplorationConfig bad = config_of(ExplorationPolicyKind::kEpsilonFloor);
+  bad.epsilon = 1.5;
+  EXPECT_THROW(ExplorationPolicy{bad}, std::invalid_argument);
+  bad = config_of(ExplorationPolicyKind::kEpsilonFloor);
+  bad.explore_duty = -0.1;
+  EXPECT_THROW(ExplorationPolicy{bad}, std::invalid_argument);
+  bad = config_of(ExplorationPolicyKind::kUcb);
+  bad.ucb_c = -1.0;
+  EXPECT_THROW(ExplorationPolicy{bad}, std::invalid_argument);
+  bad = config_of(ExplorationPolicyKind::kOptimistic);
+  bad.optimism_scale = -0.5;
+  EXPECT_THROW(ExplorationPolicy{bad}, std::invalid_argument);
+}
+
+TEST(ExplorationPolicy, NoneAndOptimisticPlanNoWakeups) {
+  const RushHourLearner learner = make_learner();
+  const RushHourMask mask = RushHourMask::from_hours({7, 8, 17, 18});
+  for (const auto kind :
+       {ExplorationPolicyKind::kNone, ExplorationPolicyKind::kOptimistic}) {
+    ExplorationPolicy policy{config_of(kind)};
+    const ExplorationPlan plan = policy.plan_epoch(learner, mask);
+    EXPECT_FALSE(plan.active);
+    EXPECT_EQ(plan.duty, 0.0);
+  }
+}
+
+TEST(ExplorationPolicy, EpsilonFloorNeverPlansInsideRushMask) {
+  const RushHourLearner learner = make_learner();
+  const RushHourMask mask = RushHourMask::from_hours({7, 8, 17, 18});
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kEpsilonFloor);
+  cfg.epsilon = 0.125;  // 3 of 24 slots per epoch
+  ExplorationPolicy policy{cfg};
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const ExplorationPlan plan = policy.plan_epoch(learner, mask);
+    ASSERT_TRUE(plan.active);
+    EXPECT_EQ(plan.duty, cfg.explore_duty);
+    EXPECT_EQ(plan.mask.rush_slot_count(), 3U);
+    for (const std::size_t s : {7U, 8U, 17U, 18U}) {
+      EXPECT_FALSE(plan.mask.is_rush_slot(s)) << "epoch " << epoch;
+    }
+  }
+}
+
+TEST(ExplorationPolicy, EpsilonFloorRotationCoversEveryCensoredSlot) {
+  // The unconditional guarantee: 20 out-of-mask slots at 3 per epoch are
+  // all visited within ceil(20/3) = 7 epochs — no slot is starved however
+  // bad its score looks.
+  const RushHourLearner learner = make_learner();
+  const RushHourMask mask = RushHourMask::from_hours({7, 8, 17, 18});
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kEpsilonFloor);
+  cfg.epsilon = 0.125;
+  ExplorationPolicy policy{cfg};
+  std::set<std::size_t> visited;
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    const ExplorationPlan plan = policy.plan_epoch(learner, mask);
+    for (std::size_t s = 0; s < 24; ++s) {
+      if (plan.mask.is_rush_slot(s)) visited.insert(s);
+    }
+  }
+  EXPECT_EQ(visited.size(), 20U);
+}
+
+TEST(ExplorationPolicy, PlanInactiveWhenMaskCoversEverySlot) {
+  const RushHourLearner learner = make_learner();
+  RushHourMask everything{Duration::hours(24), 24};
+  for (std::size_t s = 0; s < 24; ++s) everything.set(s, true);
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kEpsilonFloor);
+  ExplorationPolicy policy{cfg};
+  EXPECT_FALSE(policy.plan_epoch(learner, everything).active);
+}
+
+TEST(ExplorationPolicy, UcbPrefersLeastSampledSlotUnderEqualScores) {
+  // Slot 5 has contributed samples for three epochs; slot 11 never has.
+  // With any positive ucb_c the confidence bonus must rank 11 above 5.
+  RushHourLearner learner = make_learner();
+  for (int day = 0; day < 3; ++day) {
+    learner.record_effort(at_h(day * 24.0 + 5.5), Duration::seconds(10));
+    learner.record_probe(at_h(day * 24.0 + 5.5));
+    learner.finish_epoch();
+  }
+  const RushHourMask mask = RushHourMask::from_hours({7, 8, 17, 18});
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kUcb);
+  cfg.epsilon = 1.0 / 24.0;  // plan exactly one slot
+  cfg.ucb_c = 5.0;           // bonus dominates the exploitation term
+  ExplorationPolicy policy{cfg};
+  const ExplorationPlan plan = policy.plan_epoch(learner, mask);
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.mask.rush_slot_count(), 1U);
+  EXPECT_FALSE(plan.mask.is_rush_slot(5));
+  EXPECT_TRUE(plan.mask.is_rush_slot(0));  // unsampled, lowest index
+}
+
+TEST(ExplorationPolicy, UcbWithZeroBonusExploitsBestCensoredScore) {
+  RushHourLearner learner = make_learner();
+  // Slot 11 scored well before the mask censored it; slot 3 scored badly.
+  for (int day = 0; day < 2; ++day) {
+    for (int i = 0; i < 8; ++i) learner.record_probe(at_h(day * 24.0 + 11.5));
+    learner.record_probe(at_h(day * 24.0 + 3.5));
+    learner.finish_epoch();
+  }
+  const RushHourMask mask = RushHourMask::from_hours({7, 8, 17, 18});
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kUcb);
+  cfg.epsilon = 1.0 / 24.0;
+  cfg.ucb_c = 0.0;
+  ExplorationPolicy policy{cfg};
+  const ExplorationPlan plan = policy.plan_epoch(learner, mask);
+  ASSERT_TRUE(plan.active);
+  EXPECT_TRUE(plan.mask.is_rush_slot(11));
+}
+
+TEST(ExplorationPolicy, OptimismLiftsUnexploredSlotIntoContention) {
+  RushHourLearner learner = make_learner();
+  learner.record_effort(at_h(7.5), Duration::seconds(10));
+  for (int i = 0; i < 6; ++i) learner.record_probe(at_h(7.5));
+  learner.finish_epoch();
+
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kOptimistic);
+  cfg.optimism_slots = 1;
+  cfg.optimism_scale = 0.8;
+  ExplorationPolicy policy{cfg};
+  EXPECT_TRUE(policy.inflates_scores());
+  const std::vector<double> scores = policy.effective_scores(learner);
+  // The least-explored slot (slot 0: unseeded, zero effort) is lifted to
+  // 0.8 x the best seeded score; the seeded slot itself is untouched.
+  EXPECT_DOUBLE_EQ(scores[7], learner.scores()[7]);
+  EXPECT_DOUBLE_EQ(scores[0], 0.8 * learner.scores()[7]);
+  // Exactly optimism_slots slots are lifted.
+  std::size_t lifted = 0;
+  for (std::size_t s = 0; s < scores.size(); ++s) {
+    if (scores[s] != learner.scores()[s]) ++lifted;
+  }
+  EXPECT_EQ(lifted, 1U);
+}
+
+TEST(ExplorationPolicy, OptimismNeedsASeededBaseline) {
+  // Before any real sample there is nothing to be optimistic relative to:
+  // inflating zeros would just reshuffle an all-zero ranking.
+  const RushHourLearner learner = make_learner();
+  ExplorationConfig cfg = config_of(ExplorationPolicyKind::kOptimistic);
+  ExplorationPolicy policy{cfg};
+  EXPECT_EQ(policy.effective_scores(learner), learner.scores());
+}
+
+}  // namespace
+}  // namespace snipr::core

@@ -183,6 +183,52 @@ TEST(RushHourLearner, SlotsByScoreStableTies) {
   EXPECT_EQ(order[1], 11U);
 }
 
+TEST(RushHourLearner, DetectionAtExactEpochEndBelongsToTheNextEpochsSlotZero) {
+  // Slot attribution at the boundary: t == Tepoch is the first instant of
+  // the next epoch (slot 0), t == Tepoch − 1 µs the last instant of slot
+  // N−1. An off-by-one here shifts every midnight detection by a whole
+  // slot.
+  RushHourLearner learner = make_learner();
+  learner.record_probe(at_h(24.0));
+  learner.record_probe(at_h(24.0) - Duration::microseconds(1));
+  learner.finish_epoch();
+  EXPECT_DOUBLE_EQ(learner.scores()[0], 1.0);
+  EXPECT_DOUBLE_EQ(learner.scores()[23], 1.0);
+  for (std::size_t s = 1; s < 23; ++s) {
+    EXPECT_DOUBLE_EQ(learner.scores()[s], 0.0) << "slot " << s;
+  }
+}
+
+TEST(RushHourLearner, SlotBoundaryWithinAnEpochSplitsTheSameWay) {
+  RushHourLearner learner = make_learner();
+  learner.record_probe(at_h(7.0));                             // slot 7 opens
+  learner.record_probe(at_h(7.0) - Duration::microseconds(1));  // slot 6 ends
+  learner.finish_epoch();
+  EXPECT_DOUBLE_EQ(learner.scores()[6], 1.0);
+  EXPECT_DOUBLE_EQ(learner.scores()[7], 1.0);
+}
+
+TEST(RushHourLearner, ZeroEffortSlotNeverOutranksASampledSlot) {
+  // Effort mode: a slot whose score is 0.0 because it was probed and
+  // produced nothing is evidence; a slot at 0.0 because the radio was
+  // never on there is ignorance. At equal scores the sampled slot must
+  // rank first — otherwise a freshly adopted mask could evict a measured
+  // slot for one nobody ever looked at.
+  RushHourLearner learner = make_learner(1);
+  learner.record_effort(at_h(9.5), Duration::seconds(10));  // no detections
+  learner.finish_epoch();
+  EXPECT_DOUBLE_EQ(learner.scores()[9], 0.0);
+  const auto order = learner.slots_by_score();
+  EXPECT_EQ(order[0], 9U);
+  EXPECT_TRUE(learner.mask().is_rush_slot(9));
+  // The same rule through the static ranking used for optimistic views.
+  std::vector<double> scores(24, 0.0);
+  std::vector<char> seeded(24, 0);
+  seeded[9] = 1;
+  const auto ranked = RushHourLearner::rank_slots(scores, seeded);
+  EXPECT_EQ(ranked[0], 9U);
+}
+
 TEST(RushHourLearner, EpochsWrapIntoSameSlots) {
   RushHourLearner learner = make_learner(1);
   learner.record_probe(at_h(7.5));

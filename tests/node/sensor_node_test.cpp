@@ -248,6 +248,56 @@ TEST(SensorNode, NonPositiveNextWakeupIsSchedulerBug) {
   EXPECT_THROW(w.simulator.run_until(at_s(10)), std::logic_error);
 }
 
+TEST(SensorNode, DetectionHookFiresAtDetectionNotTransferCompletion) {
+  // A contact detected just before an epoch boundary whose transfer
+  // drains past it: the detection hook must fire pre-boundary (once) and
+  // the completion observation post-boundary (once). Learners listening
+  // on on_probe_detected then attribute the contact to the epoch whose
+  // probing effort found it — completion-time feeding was the censoring
+  // bug that pushed every boundary-straddling contact into the wrong
+  // epoch's statistics.
+  class DetectionSpy final : public Scheduler {
+   public:
+    explicit DetectionSpy(sim::Simulator& sim) : sim_{sim} {}
+    SchedulerDecision on_wakeup(const SensorContext&) override {
+      return {.probe = true, .next_wakeup = Duration::seconds(1)};
+    }
+    void on_probe_detected(TimePoint when) override {
+      detections.push_back(when);
+    }
+    void on_contact_probed(const ProbedContactObservation& obs) override {
+      completion_times.push_back(sim_.now());
+      observations.push_back(obs);
+    }
+    std::string name() const override { return "detection-spy"; }
+    std::vector<TimePoint> detections;
+    std::vector<TimePoint> completion_times;
+    std::vector<ProbedContactObservation> observations;
+
+   private:
+    sim::Simulator& sim_;
+  };
+
+  // 10 B/s sensing for 3599 s ≈ 36 kB backlog; at 12.5 kB/s the transfer
+  // runs ~2.9 s — across the 1 h epoch boundary. The contact itself (10 s)
+  // outlives the drain, so departure is never observed.
+  World w{{{at_s(3599), Duration::seconds(10)}}};
+  DetectionSpy sched{w.simulator};
+  SensorNode node{w.simulator, w.channel, w.sink, sched, small_config()};
+  node.start();
+  w.simulator.run_until(at_s(3700));
+
+  const TimePoint boundary = at_s(3600);
+  ASSERT_EQ(sched.detections.size(), 1U);
+  ASSERT_EQ(sched.observations.size(), 1U);  // exactly once per contact
+  EXPECT_GT(sched.detections[0], at_s(3599));
+  EXPECT_LT(sched.detections[0], boundary);
+  EXPECT_GT(sched.completion_times[0], boundary);
+  // The epoch whose effort paid for the probe owns the contact.
+  ASSERT_GE(node.epoch_history().size(), 1U);
+  EXPECT_EQ(node.epoch_history()[0].contacts_probed, 1U);
+}
+
 TEST(SensorNode, ConsecutiveContactsAllProbedAtHighDuty) {
   std::vector<Contact> contacts;
   for (int i = 0; i < 20; ++i) {

@@ -9,7 +9,10 @@ Understands both artifact shapes this repo produces:
   keyed by their identity fields (nodes / node_store_bytes / epochs) so
   baseline and current rows pair up even if the sweep order changes.
 
-Three counter kinds are compared, selected by name suffix:
+* regret artifacts with a "rows" array keyed by (scenario, policy)
+  (BENCH_regret.json from bench_regret).
+
+Four counter kinds are compared, selected by name:
 
 * ``*_per_sec`` — throughput; more than --tolerance BELOW the baseline
   is a regression. Improvements are reported but never fail.
@@ -17,6 +20,11 @@ Three counter kinds are compared, selected by name suffix:
   that becomes nonzero fails (the zero-allocation hot path was lost).
 * ``*_mib`` — memory footprints; more than --tolerance ABOVE the
   baseline is a regression (the bounded-memory plateau was lost).
+* ``*regret*`` — regret vs the clairvoyant benchmark; more than
+  max(--tolerance * |baseline|, 1.0) ABOVE the baseline is a regression
+  (a learner/exploration change broke censored recovery). Less regret is
+  an improvement and never fails; the absolute 1 s slack keeps near-zero
+  baselines from turning noise into a gate.
 
 A baseline that yields no comparable counters at all is an error, not a
 pass: a silently empty comparison is how a gate rots. Exit status: 0 =
@@ -31,17 +39,23 @@ import json
 import sys
 
 # Fields that identify a sweep row across runs (order-independent).
-IDENTITY_KEYS = ("nodes", "node_store_bytes", "epochs")
+IDENTITY_KEYS = ("scenario", "policy", "nodes", "node_store_bytes", "epochs")
+
+# Regret counters below this baseline magnitude gate on an absolute 1 s
+# slack instead of a fraction of nothing.
+REGRET_ABS_SLACK_S = 1.0
 
 
 def counter_kind(key):
-    """'rate', 'alloc', 'mem', or None for non-counter fields."""
+    """'rate', 'alloc', 'mem', 'regret', or None for non-counter fields."""
     if key.endswith("_per_sec"):
         return "rate"
     if key.endswith("_per_event"):
         return "alloc"
     if key.endswith("_mib"):
         return "mem"
+    if "regret" in key:
+        return "regret"
     return None
 
 
@@ -140,6 +154,24 @@ def main():
                     failures.append(
                         f"{name}/{counter}: baseline 0, now {cur:g} — "
                         "steady-state allocations reintroduced")
+                continue
+            if kind == "regret":
+                # Regret gates upward on an absolute scale: negative and
+                # near-zero baselines are legitimate (a policy may beat
+                # the mean clairvoyant trace on lucky draws), so a ratio
+                # test would divide by ~0.
+                slack = max(args.tolerance * abs(base), REGRET_ABS_SLACK_S)
+                verdict = "ok"
+                if cur > base + slack:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{name}/{counter}: regret {base:.3g} -> {cur:.3g} s "
+                        f"(+{cur - base:.3g} s) — censored-feedback "
+                        "recovery got worse")
+                elif cur < base - slack:
+                    verdict = "improved"
+                print(f"{name}/{counter}: {base:.3g} -> {cur:.3g} s "
+                      f"({cur - base:+.3g} s) {verdict}")
                 continue
             if base <= 0.0:
                 continue

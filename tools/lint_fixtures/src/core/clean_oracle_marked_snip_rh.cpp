@@ -1,0 +1,17 @@
+// Lint self-test fixture: the oracle-file marker must exempt a whole
+// clairvoyant-benchmark file from the censored-feedback rule —
+// --self-test asserts this file produces no findings.
+// snipr-lint: oracle-file — fixture modelling a clairvoyant benchmark;
+// never compiled or linked.
+
+namespace snipr::core {
+
+class PlantedOracle {
+ public:
+  template <typename ContactSchedule>
+  int count_truth(const ContactSchedule& schedule) const {
+    return static_cast<int>(schedule.contacts().size());
+  }
+};
+
+}  // namespace snipr::core

@@ -1,0 +1,17 @@
+// Lint self-test fixture: plants a ground-truth read inside a
+// learner-family file. Never compiled; snipr_lint.py --self-test
+// asserts the censored-feedback rule flags exactly this file.
+
+namespace snipr::core {
+
+class PlantedLearner {
+ public:
+  // A learner peeking at the true schedule sees contacts its probes
+  // never detected — exactly the un-censoring bug the rule exists for.
+  template <typename ContactSchedule>
+  int count_truth(const ContactSchedule& schedule) const {
+    return static_cast<int>(schedule.contacts().size());
+  }
+};
+
+}  // namespace snipr::core

@@ -172,6 +172,49 @@ class CheckBenchRegressionTest(unittest.TestCase):
         cur = {"benchmarks": [gb("BM_Loop", allocs_per_event=0.0)]}
         self.assertEqual(run_gate(self.tmp, base, cur), 0)
 
+    # --- *regret* counters fail upward on an absolute-or-relative slack ---
+
+    @staticmethod
+    def regret_row(scenario, policy, cumulative, mean):
+        return {"scenario": scenario, "policy": policy, "epochs": 28,
+                "cumulative_regret_s": cumulative, "mean_regret_s": mean,
+                "mean_zeta_s": 30.0, "opt_mean_zeta_s": 50.0}
+
+    def test_regret_growth_beyond_tolerance_fails(self):
+        base = {"rows": [self.regret_row("migrating-peaks", "ucb",
+                                         1000.0, 35.7)]}
+        cur = {"rows": [self.regret_row("migrating-peaks", "ucb",
+                                        1200.0, 42.9)]}
+        self.assertEqual(run_gate(self.tmp, base, cur, tolerance=0.10), 1)
+
+    def test_regret_drop_is_an_improvement_not_a_failure(self):
+        base = {"rows": [self.regret_row("migrating-peaks", "ucb",
+                                         1200.0, 42.9)]}
+        cur = {"rows": [self.regret_row("migrating-peaks", "ucb",
+                                        600.0, 21.4)]}
+        self.assertEqual(run_gate(self.tmp, base, cur, tolerance=0.10), 0)
+
+    def test_regret_rows_pair_by_scenario_and_policy(self):
+        # Same counters, swapped across policies: the ucb row regressed
+        # even though the artifact-wide totals are unchanged.
+        base = {"rows": [self.regret_row("roadside", "naive", 800.0, 33.0),
+                         self.regret_row("roadside", "ucb", 500.0, 21.0)]}
+        cur = {"rows": [self.regret_row("roadside", "ucb", 800.0, 33.0),
+                        self.regret_row("roadside", "naive", 500.0, 21.0)]}
+        self.assertEqual(run_gate(self.tmp, base, cur, tolerance=0.10), 1)
+
+    def test_regret_near_zero_baseline_uses_absolute_slack(self):
+        # 0.1 s -> 0.9 s is a 9x ratio but well under the 1 s absolute
+        # slack — simulator noise on an already-near-clairvoyant policy.
+        base = {"rows": [self.regret_row("roadside", "ucb", 0.1, 0.004)]}
+        cur = {"rows": [self.regret_row("roadside", "ucb", 0.9, 0.032)]}
+        self.assertEqual(run_gate(self.tmp, base, cur, tolerance=0.10), 0)
+
+    def test_regret_negative_baseline_gates_without_ratio(self):
+        base = {"rows": [self.regret_row("roadside", "ucb", -5.0, -0.2)]}
+        cur = {"rows": [self.regret_row("roadside", "ucb", 20.0, 0.7)]}
+        self.assertEqual(run_gate(self.tmp, base, cur, tolerance=0.10), 1)
+
     def test_alloc_nonzero_baseline_tolerates_drift(self):
         # A baseline that already allocates is not the zero-alloc
         # contract; drift there is the rate gate's business, not this one.
