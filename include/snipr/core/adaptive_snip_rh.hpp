@@ -74,6 +74,19 @@ class AdaptiveSnipRh final : public node::Scheduler {
     return plan_;
   }
 
+  /// Crash/recovery seam: the checkpoint carries the learner snapshot
+  /// (scores, in-flight samples, effort totals, UCB sample counts), the
+  /// adopted mask and SNIP-RH estimators, the exploration cursor and
+  /// plan, the phase flag and the pacing deadlines — restore() resumes
+  /// bit-identically. reset() is full amnesia: back to the learning
+  /// phase with an empty mask, as on first boot.
+  [[nodiscard]] std::string checkpoint() const override;
+  bool restore(std::string_view blob) override;
+  void reset() override;
+  [[nodiscard]] std::vector<bool> rush_mask_bits() const override {
+    return rh_.mask().bits();
+  }
+
  private:
   /// Mask to adopt/refresh against: the learner's ranking, viewed through
   /// the exploration policy's (possibly optimistic) score lens.

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over a byte
+/// range. Used to frame streaming-fleet checkpoints so a torn write,
+/// truncation or bit flip is detected and rejected instead of silently
+/// parsed — and by the checkpoint fuzz corruptor to prove exactly that.
+/// Checkpoints are small (one accumulator, not per-node state), so the
+/// branch-free bitwise form is plenty and costs no lookup table.
+
+namespace snipr::core {
+
+[[nodiscard]] constexpr std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : data) {
+    crc ^= static_cast<unsigned char>(byte);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+static_assert(crc32("123456789") == 0xCBF43926u,
+              "crc32 must match the IEEE 802.3 check value");
+
+}  // namespace snipr::core

@@ -113,6 +113,11 @@ class ExplorationPolicy {
   [[nodiscard]] std::vector<double> effective_scores(
       const RushHourLearner& learner) const;
 
+  /// eps-floor rotation position — checkpointed so a restored node
+  /// resumes the round-robin exactly where the crash left it.
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  void set_cursor(std::size_t cursor) noexcept { cursor_ = cursor; }
+
  private:
   ExplorationConfig config_;
   /// eps-floor round-robin position, persisted across epochs so the

@@ -23,6 +23,9 @@ inline constexpr const char* kBatchSchemaV1 = "snipr.batch.v1";
 inline constexpr const char* kFleetSchemaV1 = "snipr.fleet.v1";
 /// Fleet outcome carrying the multi-hop collection "network" section.
 inline constexpr const char* kFleetSchemaV2 = "snipr.fleet.v2";
+/// Fleet outcome carrying a fault-plane "resilience" section (with or
+/// without a network section; an attached fault plan always bumps to v3).
+inline constexpr const char* kFleetSchemaV3 = "snipr.fleet.v3";
 /// Bounded-memory streaming fleet aggregate (no per-node rows).
 inline constexpr const char* kFleetSummarySchemaV1 = "snipr.fleet_summary.v1";
 inline constexpr const char* kBenchDeploymentScaleSchemaV1 =
@@ -33,6 +36,12 @@ inline constexpr const char* kBenchMultihopScaleSchemaV1 =
 /// (bench_regret). Regret counters gate upward in
 /// tools/check_bench_regression.py: more regret is a regression.
 inline constexpr const char* kBenchRegretSchemaV1 = "snipr.bench.regret.v1";
+/// Fault-mix sweep (bench_resilience): ζ degradation of each policy
+/// relative to its own fault-free run, per (probe-miss, crash-rate)
+/// point. The `zeta_regret_s` counters gate upward like the learning
+/// regret ones — resilience eroding is the regression.
+inline constexpr const char* kBenchResilienceSchemaV1 =
+    "snipr.bench.resilience.v1";
 
 /// Open a document with its schema marker: `{"schema":"<schema>",`.
 inline void open_document(std::string& out, const char* schema) {

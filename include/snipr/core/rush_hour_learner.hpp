@@ -121,6 +121,29 @@ class RushHourLearner {
   /// Mask marking the top `rush_slots` slots.
   [[nodiscard]] RushHourMask mask() const;
 
+  /// Complete mutable state — everything a crash wipes and a checkpoint
+  /// must carry (scores, in-flight epoch samples, effort totals, the
+  /// UCB sample counts, per-slot seeding, the sticky effort mode).
+  /// snapshot() → restore() round-trips bit-identically.
+  struct Snapshot {
+    std::vector<double> scores;
+    std::vector<double> current_counts;
+    std::vector<double> current_effort_s;
+    std::vector<double> total_effort_s;
+    std::vector<std::uint32_t> slot_samples;
+    std::vector<char> slot_seeded;
+    bool effort_mode{false};
+    std::size_t epochs{0};
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Restore state captured by snapshot() on a learner configured with
+  /// the same slot count. Throws std::invalid_argument on a shape
+  /// mismatch (a checkpoint from a differently-configured learner).
+  void restore(const Snapshot& state);
+  /// Crash amnesia: discard every observation back to the
+  /// freshly-constructed state (configuration survives).
+  void reset() noexcept;
+
  private:
   [[nodiscard]] std::size_t slot_index(sim::TimePoint t) const noexcept;
 

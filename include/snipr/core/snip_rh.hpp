@@ -69,6 +69,18 @@ class SnipRh final : public node::Scheduler {
   /// Replace the mask (used by adaptive variants tracking seasonal shift).
   void set_mask(RushHourMask mask) noexcept { mask_ = std::move(mask); }
 
+  /// Crash/recovery seam. The checkpoint carries the mask bits and both
+  /// EWMAs; reset() clears the EWMAs back to their priors but keeps the
+  /// mask — for standalone SNIP-RH the mask is provisioned configuration
+  /// (it lives in flash), not learned state. AdaptiveSnipRh wipes the
+  /// mask itself when it reboots its inner SnipRh.
+  [[nodiscard]] std::string checkpoint() const override;
+  bool restore(std::string_view blob) override;
+  void reset() override;
+  [[nodiscard]] std::vector<bool> rush_mask_bits() const override {
+    return mask_.bits();
+  }
+
  private:
   RushHourMask mask_;
   SnipRhConfig config_;

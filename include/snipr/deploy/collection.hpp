@@ -20,6 +20,10 @@
 /// list is a pure function of (seed, spec), and everything here is a
 /// pure function of the session list.
 
+namespace snipr::fault {
+class CollectionFaultState;
+}  // namespace snipr::fault
+
 namespace snipr::deploy {
 
 /// One successfully probed contact, with carrier identity restored.
@@ -46,6 +50,10 @@ struct CollectionInput {
   /// Probed sessions, any order — the pass sorts them deterministically.
   std::vector<CollectionSession> sessions;
   double horizon_s{0.0};
+  /// Lossy hand-offs with bounded retry (null = lossless). The state is
+  /// consumed in the pass's deterministic event order, so the draw
+  /// sequence — like everything else here — is shard-independent.
+  fault::CollectionFaultState* faults{nullptr};
 };
 
 /// Position of the collection sink for this input: the sink node's

@@ -7,6 +7,7 @@
 
 #include "snipr/contact/schedule.hpp"
 #include "snipr/deploy/routing.hpp"
+#include "snipr/fault/fault_plan.hpp"
 #include "snipr/node/sensor_node.hpp"
 #include "snipr/radio/link.hpp"
 
@@ -57,6 +58,9 @@ struct DeploymentOutcome {
   /// Store-and-forward collection results, present when the fleet ran
   /// with a RoutingSpec (upgrades the JSON schema to snipr.fleet.v2).
   std::optional<NetworkOutcome> network;
+  /// Fault-plane counters, present when the fleet ran with an enabled
+  /// fault::FaultSpec (upgrades the JSON schema to snipr.fleet.v3).
+  std::optional<fault::ResilienceOutcome> resilience;
 };
 
 struct DeploymentConfig {

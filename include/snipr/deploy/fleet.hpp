@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "snipr/core/strategy.hpp"
 #include "snipr/deploy/routing.hpp"
 #include "snipr/deploy/workload.hpp"
+#include "snipr/fault/fault_plan.hpp"
 
 /// \file fleet.hpp
 /// Declarative description of a road-side fleet (the paper's Fig. 1
@@ -57,6 +59,14 @@ struct FleetSpec {
   /// no vehicle identity to ferry data with (the engine rejects the
   /// combination).
   std::optional<RoutingSpec> routing;
+
+  /// Deterministic fault plane. Null (or an all-zero spec): no faults,
+  /// no fault-stream draws, output byte-identical to fault-free builds.
+  /// Enabled: the outcome gains a `resilience` section and the JSON
+  /// schema moves to `snipr.fleet.v3`. Held by shared_ptr-to-const so
+  /// catalog entries can carry a spec without FleetSpec losing its
+  /// value semantics.
+  std::shared_ptr<const fault::FaultSpec> faults;
 
   /// A fleet over the generative road flow.
   [[nodiscard]] static FleetSpec road(std::size_t nodes, RoadWorkload road,

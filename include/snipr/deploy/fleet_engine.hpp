@@ -44,10 +44,16 @@ struct FleetConfig {
 
 class FleetEngine {
  public:
-  /// Run over pre-built schedules (node i runs schedules[i]).
+  /// Run over pre-built schedules (node i runs schedules[i]). An enabled
+  /// `faults` spec attaches one deterministic fault stream per node
+  /// (fault::FaultPlan, forked in node order like the channel streams,
+  /// so the outcome stays shard- and thread-count independent) and adds
+  /// a `resilience` section to the outcome; null or disabled specs leave
+  /// the run byte-identical to a fault-free one.
   [[nodiscard]] DeploymentOutcome run(
       std::vector<contact::ContactSchedule> schedules,
-      const SchedulerFactory& make_scheduler, const FleetConfig& config) const;
+      const SchedulerFactory& make_scheduler, const FleetConfig& config,
+      const fault::FaultSpec* faults = nullptr) const;
 
   /// Materialise `spec`'s road geometry and vehicle flow (one flow shared
   /// by every node, so contacts stay correlated across the fleet), build
@@ -61,20 +67,23 @@ class FleetEngine {
   /// Serialise an outcome as JSON: aggregates plus one compact row per
   /// node (`core::json::kFleetSchemaV1`), and — when the outcome carries
   /// a store-and-forward network section — the collection results under
-  /// `"network"` with the schema bumped to `core::json::kFleetSchemaV2`.
-  /// Deterministic: same outcome, same bytes — and outcomes are
-  /// shard-count-independent, so this is what the fleet golden corpus
-  /// pins.
+  /// `"network"` with the schema bumped to `core::json::kFleetSchemaV2`;
+  /// an outcome with a `resilience` section (fault plan attached) bumps
+  /// it again to `core::json::kFleetSchemaV3`. Deterministic: same
+  /// outcome, same bytes — and outcomes are shard-count-independent, so
+  /// this is what the fleet golden corpus pins.
   [[nodiscard]] static std::string to_json(const DeploymentOutcome& outcome);
 
  private:
   /// `run`, with each node's probed-contact log exported through
   /// `probed` (resized to the fleet; slot i is node i's log) — the
-  /// session list the store-and-forward collection pass replays.
+  /// session list the store-and-forward collection pass replays — and
+  /// node i wired to `faults->node(i)` when a fault plan is attached.
   [[nodiscard]] DeploymentOutcome run_with_probes(
       std::vector<contact::ContactSchedule> schedules,
       const SchedulerFactory& make_scheduler, const FleetConfig& config,
-      std::vector<std::vector<node::ProbedContactRecord>>* probed) const;
+      std::vector<std::vector<node::ProbedContactRecord>>* probed,
+      fault::FaultPlan* faults) const;
 };
 
 /// Node/link configuration for a catalog-style fleet run: Ton and link

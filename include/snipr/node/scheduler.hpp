@@ -1,6 +1,8 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "snipr/sim/time.hpp"
 
@@ -78,6 +80,30 @@ class Scheduler {
 
   /// Human-readable policy name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // --- Crash/recovery seam (the fault plane's checkpoint API) ----------
+
+  /// Serialize all learned state as deterministic text (hexfloat
+  /// doubles, so restore() is bit-exact). Empty = the policy is
+  /// stateless and a reboot costs it nothing.
+  [[nodiscard]] virtual std::string checkpoint() const { return {}; }
+
+  /// Restore state captured by checkpoint() on a scheduler constructed
+  /// with the same configuration. Returns false (state unchanged) when
+  /// the blob does not parse; an empty blob is the stateless policies'
+  /// valid no-op checkpoint.
+  virtual bool restore(std::string_view blob) { return blob.empty(); }
+
+  /// Reboot with amnesia: discard learned state back to as-constructed.
+  /// Configuration (duties, provisioned masks, targets) survives — it
+  /// lives in flash, not RAM.
+  virtual void reset() {}
+
+  /// Learned rush-slot bits, empty when the policy maintains no mask —
+  /// the fault plane's re-convergence yardstick after a crash.
+  [[nodiscard]] virtual std::vector<bool> rush_mask_bits() const {
+    return {};
+  }
 };
 
 }  // namespace snipr::node

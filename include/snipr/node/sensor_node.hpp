@@ -35,6 +35,10 @@
 /// its own block, so the shard's hot state stays contiguous. Standalone
 /// nodes own a private 1-lane block.
 
+namespace snipr::fault {
+class NodeFaultInjector;
+}  // namespace snipr::fault
+
 namespace snipr::node {
 
 /// Who initiates the probe during a wakeup window.
@@ -144,6 +148,14 @@ class SensorNode {
   [[nodiscard]] const NodeBlock& block() const noexcept { return *block_; }
   [[nodiscard]] std::size_t lane() const noexcept { return lane_; }
 
+  /// Attach this node's fault-plan stream (fault::FaultPlan hands out one
+  /// injector per node; must outlive the node). Null detaches. With no
+  /// injector attached every fault path is skipped entirely — no RNG
+  /// draw, no extra work — so fault-free runs stay byte-identical.
+  void attach_faults(fault::NodeFaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
  private:
   /// Shared delegate: `owned` is the standalone form's private block
   /// (null for fleet nodes); `block` overrides it when non-null.
@@ -163,6 +175,10 @@ class SensorNode {
   void begin_transfer(const contact::Contact& active, sim::TimePoint probe_time,
                       sim::Duration cycle_hint, bool new_session);
   void epoch_boundary();
+  /// Crash/reboot step of the epoch boundary (fault plan attached only):
+  /// draw the crash, wipe or restore the scheduler, and track how many
+  /// epochs the relearned mask needs to re-cover the pre-crash one.
+  void crash_and_recovery_step();
   [[nodiscard]] SensorContext make_context() const;
 
   sim::Simulator& sim_;
@@ -187,6 +203,15 @@ class SensorNode {
   double probing_j_mark_{0.0};
   double transfer_j_mark_{0.0};
   bool started_{false};
+
+  /// Fault plane (null = no faults; every hook is then skipped).
+  fault::NodeFaultInjector* faults_{nullptr};
+  /// Scheduler checkpoint refreshed each epoch boundary (restore mode).
+  std::string checkpoint_;
+  /// The last rush mask seen before a crash — the re-convergence target.
+  /// Frozen while re-converging, refreshed each healthy epoch otherwise.
+  std::vector<bool> last_good_mask_bits_;
+  bool reconverging_{false};
 };
 
 }  // namespace snipr::node

@@ -36,6 +36,17 @@ class Ewma {
   /// Forget everything (including a seeded prior).
   void reset() noexcept;
 
+  /// Raw mean regardless of initialisation (0.0 before any data) — the
+  /// checkpoint-side counterpart of restore().
+  [[nodiscard]] double mean_raw() const noexcept { return mean_; }
+  /// Bit-exact restore of state captured via mean_raw() / has_value() /
+  /// count() (the crash-recovery checkpoint path).
+  void restore(double mean, bool initialised, std::size_t count) noexcept {
+    mean_ = mean;
+    initialised_ = initialised;
+    count_ = count;
+  }
+
  private:
   double weight_;
   double mean_{0.0};

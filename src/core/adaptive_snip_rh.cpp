@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "snipr/core/checkpoint_io.hpp"
+
 namespace snipr::core {
 
 AdaptiveSnipRh::AdaptiveSnipRh(sim::Duration epoch, std::size_t slot_count,
@@ -152,6 +154,163 @@ void AdaptiveSnipRh::on_epoch_start(std::int64_t /*epoch_index*/) {
   }
   rh_.set_mask(std::move(mask));
   plan_ = policy_.plan_epoch(learner_, rh_.mask());
+}
+
+namespace {
+
+void append_mask_bits(std::string& out, const RushHourMask& mask) {
+  ckpt::append_u64(out, static_cast<std::uint64_t>(mask.slot_count()));
+  for (std::size_t s = 0; s < mask.slot_count(); ++s) {
+    ckpt::append_u64(out, mask.bits()[s] ? 1 : 0);
+  }
+}
+
+bool read_mask_bits(ckpt::TokenReader& reader, std::vector<bool>& bits) {
+  std::uint64_t slots = 0;
+  if (!reader.read_u64(slots)) return false;
+  bits.assign(static_cast<std::size_t>(slots), false);
+  for (std::size_t s = 0; s < bits.size(); ++s) {
+    std::uint64_t bit = 0;
+    if (!reader.read_u64(bit)) return false;
+    bits[s] = bit != 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string AdaptiveSnipRh::checkpoint() const {
+  std::string out;
+  out += "adaptive-snip-rh-v1 ";
+  ckpt::append_u64(out, learning_ ? 1 : 0);
+
+  const RushHourLearner::Snapshot snap = learner_.snapshot();
+  ckpt::append_u64(out, static_cast<std::uint64_t>(snap.scores.size()));
+  for (double v : snap.scores) ckpt::append_double(out, v);
+  for (double v : snap.current_counts) ckpt::append_double(out, v);
+  for (double v : snap.current_effort_s) ckpt::append_double(out, v);
+  for (double v : snap.total_effort_s) ckpt::append_double(out, v);
+  for (std::uint32_t v : snap.slot_samples) ckpt::append_u64(out, v);
+  for (char v : snap.slot_seeded) ckpt::append_u64(out, v ? 1 : 0);
+  ckpt::append_u64(out, snap.effort_mode ? 1 : 0);
+  ckpt::append_u64(out, static_cast<std::uint64_t>(snap.epochs));
+
+  // Inner SNIP-RH (mask + EWMAs) rides along as its own token stream.
+  out += rh_.checkpoint();
+
+  ckpt::append_u64(out, static_cast<std::uint64_t>(policy_.cursor()));
+  ckpt::append_u64(out, plan_.active ? 1 : 0);
+  ckpt::append_double(out, plan_.duty);
+  append_mask_bits(out, plan_.mask);
+
+  ckpt::append_u64(out, static_cast<std::uint64_t>(next_track_due_.count()));
+  ckpt::append_u64(out, static_cast<std::uint64_t>(next_explore_due_.count()));
+  return out;
+}
+
+bool AdaptiveSnipRh::restore(std::string_view blob) {
+  ckpt::TokenReader reader{blob};
+  if (!reader.expect("adaptive-snip-rh-v1")) return false;
+  std::uint64_t learning = 0;
+  if (!reader.read_u64(learning)) return false;
+
+  std::uint64_t slots = 0;
+  if (!reader.read_u64(slots) || slots != learner_.slot_count()) return false;
+  RushHourLearner::Snapshot snap;
+  const auto n = static_cast<std::size_t>(slots);
+  snap.scores.resize(n);
+  snap.current_counts.resize(n);
+  snap.current_effort_s.resize(n);
+  snap.total_effort_s.resize(n);
+  snap.slot_samples.resize(n);
+  snap.slot_seeded.resize(n);
+  for (double& v : snap.scores) {
+    if (!reader.read_double(v)) return false;
+  }
+  for (double& v : snap.current_counts) {
+    if (!reader.read_double(v)) return false;
+  }
+  for (double& v : snap.current_effort_s) {
+    if (!reader.read_double(v)) return false;
+  }
+  for (double& v : snap.total_effort_s) {
+    if (!reader.read_double(v)) return false;
+  }
+  for (std::uint32_t& v : snap.slot_samples) {
+    std::uint64_t raw = 0;
+    if (!reader.read_u64(raw)) return false;
+    v = static_cast<std::uint32_t>(raw);
+  }
+  for (char& v : snap.slot_seeded) {
+    std::uint64_t raw = 0;
+    if (!reader.read_u64(raw)) return false;
+    v = raw != 0 ? 1 : 0;
+  }
+  std::uint64_t effort_mode = 0;
+  std::uint64_t epochs = 0;
+  if (!reader.read_u64(effort_mode) || !reader.read_u64(epochs)) return false;
+  snap.effort_mode = effort_mode != 0;
+  snap.epochs = static_cast<std::size_t>(epochs);
+
+  // The inner SNIP-RH blob is self-delimiting (fixed token count for a
+  // given slot count), so hand the reader's remainder to SnipRh and let it
+  // consume its share. Re-tokenise: find where its tokens end by length.
+  // Simpler: SnipRh::restore requires exhaustion, so rebuild its blob from
+  // the known token count (1 magic + 1 slots + slots bits + 2x3 ewma).
+  std::string rh_blob;
+  {
+    std::string_view token;
+    const std::size_t rh_tokens = 2 + static_cast<std::size_t>(slots) + 6;
+    for (std::size_t i = 0; i < rh_tokens; ++i) {
+      if (!reader.next(token)) return false;
+      rh_blob.append(token);
+      rh_blob += ' ';
+    }
+  }
+
+  std::uint64_t cursor = 0;
+  std::uint64_t plan_active = 0;
+  double plan_duty = 0.0;
+  std::vector<bool> plan_bits;
+  if (!reader.read_u64(cursor) || !reader.read_u64(plan_active) ||
+      !reader.read_double(plan_duty) || !read_mask_bits(reader, plan_bits)) {
+    return false;
+  }
+  std::uint64_t track_due_us = 0;
+  std::uint64_t explore_due_us = 0;
+  if (!reader.read_u64(track_due_us) || !reader.read_u64(explore_due_us) ||
+      !reader.exhausted()) {
+    return false;
+  }
+
+  // All tokens parsed and validated; commit. rh_ goes first since it can
+  // still reject (slot-count cross-check against its own mask).
+  if (!rh_.restore(rh_blob)) return false;
+  learner_.restore(snap);
+  learning_ = learning != 0;
+  policy_.set_cursor(static_cast<std::size_t>(cursor));
+  plan_.active = plan_active != 0;
+  plan_.duty = plan_duty;
+  plan_.mask = RushHourMask{learner_.epoch(), std::move(plan_bits)};
+  next_track_due_ = sim::TimePoint::at(
+      sim::Duration::microseconds(static_cast<std::int64_t>(track_due_us)));
+  next_explore_due_ = sim::TimePoint::at(
+      sim::Duration::microseconds(static_cast<std::int64_t>(explore_due_us)));
+  return true;
+}
+
+void AdaptiveSnipRh::reset() {
+  // Full amnesia: unlike standalone SNIP-RH (whose mask is provisioned
+  // config), the adaptive node's mask was learned state — a reboot goes
+  // back to the learning phase with an empty mask, as on first boot.
+  learner_.reset();
+  rh_.reset();
+  rh_.set_mask(RushHourMask{learner_.epoch(), learner_.slot_count()});
+  policy_.set_cursor(0);
+  plan_ = ExplorationPlan{};
+  learning_ = true;
+  next_track_due_ = sim::TimePoint::zero();
+  next_explore_due_ = sim::TimePoint::zero();
 }
 
 }  // namespace snipr::core

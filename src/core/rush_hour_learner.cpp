@@ -132,4 +132,47 @@ RushHourMask RushHourLearner::mask() const {
                              rush_slots_);
 }
 
+RushHourLearner::Snapshot RushHourLearner::snapshot() const {
+  Snapshot state;
+  state.scores = scores_;
+  state.current_counts = current_counts_;
+  state.current_effort_s = current_effort_s_;
+  state.total_effort_s = total_effort_s_;
+  state.slot_samples = slot_samples_;
+  state.slot_seeded = slot_seeded_;
+  state.effort_mode = effort_mode_;
+  state.epochs = epochs_;
+  return state;
+}
+
+void RushHourLearner::restore(const Snapshot& state) {
+  const std::size_t n = scores_.size();
+  if (state.scores.size() != n || state.current_counts.size() != n ||
+      state.current_effort_s.size() != n || state.total_effort_s.size() != n ||
+      state.slot_samples.size() != n || state.slot_seeded.size() != n) {
+    throw std::invalid_argument(
+        "RushHourLearner::restore: snapshot slot count mismatch");
+  }
+  scores_ = state.scores;
+  current_counts_ = state.current_counts;
+  current_effort_s_ = state.current_effort_s;
+  total_effort_s_ = state.total_effort_s;
+  slot_samples_ = state.slot_samples;
+  slot_seeded_ = state.slot_seeded;
+  effort_mode_ = state.effort_mode;
+  epochs_ = state.epochs;
+}
+
+void RushHourLearner::reset() noexcept {
+  const std::size_t n = scores_.size();
+  scores_.assign(n, 0.0);
+  current_counts_.assign(n, 0.0);
+  current_effort_s_.assign(n, 0.0);
+  total_effort_s_.assign(n, 0.0);
+  slot_samples_.assign(n, 0);
+  slot_seeded_.assign(n, 0);
+  effort_mode_ = false;
+  epochs_ = 0;
+}
+
 }  // namespace snipr::core

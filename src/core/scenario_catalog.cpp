@@ -438,6 +438,110 @@ std::vector<CatalogEntry> build_entries() {
     entries.push_back(std::move(entry));
   }
 
+  // --- Chaos entries (snipr.fleet.v3 goldens): the fault plane pinned
+  // byte for byte. Each wires a deploy::FleetSpec::faults plan into an
+  // environment from above, so a fault-path regression — an extra RNG
+  // draw, a changed counter, a reordered injection — shows up as a
+  // golden diff, not a silent behaviour change.
+
+  // 20. Lossy radio on the highway: every radio fault at once — misses
+  // SNR-weighted toward the contact edges, phantom detections polluting
+  // the observed process, and one transfer in twelve dying partway.
+  {
+    deploy::RoadWorkload road;
+    road.spacing_m = 300.0;
+    road.range_m = 10.0;
+    road.speed_mean_mps = 10.0;
+    road.speed_stddev_mps = 1.5;
+    road.speed_min_mps = 2.0;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(64, road, Strategy::kSnipRh, 16.0));
+    auto faults = std::make_shared<fault::FaultSpec>();
+    faults->seed = 41;
+    faults->radio.probe_miss_prob = 0.10;
+    faults->radio.snr_edge_weight = 0.5;
+    faults->radio.spurious_detect_prob = 0.02;
+    faults->radio.transfer_abort_prob = 1.0 / 12.0;
+    fleet->faults = std::move(faults);
+    CatalogEntry entry = make_entry(
+        "chaos-lossy-radio",
+        "64-node highway fleet under a lossy radio: 10% SNR-weighted probe "
+        "misses, 2% phantom detections, 1-in-12 transfer aborts",
+        RoadsideScenario{}, {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 21. Crash/reboot churn on the adaptive urban grid: amnesiac reboots
+  // wipe the learned mask, so the entry pins both the crash accounting
+  // and the post-crash re-convergence counters of the online learner.
+  {
+    RoadsideScenario sc = multi_peak_urban_scenario();
+    deploy::RoadWorkload road;
+    road.spacing_m = 120.0;
+    road.range_m = 12.0;
+    road.speed_mean_mps = 8.0;
+    road.speed_stddev_mps = 2.0;
+    road.speed_min_mps = 1.5;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(64, road, Strategy::kAdaptive, 16.0));
+    fleet->flow_profile = sc.profile;
+    auto faults = std::make_shared<fault::FaultSpec>();
+    faults->seed = 43;
+    faults->radio.probe_miss_prob = 0.05;
+    faults->node.crash_prob_per_epoch = 0.15;
+    faults->node.restore_from_checkpoint = false;
+    fleet->faults = std::move(faults);
+    CatalogEntry entry = make_entry(
+        "chaos-crash-amnesia",
+        "64-node adaptive urban grid, 15% per-epoch amnesiac crashes plus "
+        "5% probe misses: re-convergence accounting pinned",
+        std::move(sc), {16.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
+  // 22. Lossy hand-offs on the relay network: the multihop-relay entry's
+  // environment with one hand-off in ten lost and two bounded retries,
+  // pinning the collection-fault stream and the v3-with-network outcome
+  // (delivery_ratio_under_loss) end to end.
+  {
+    RoadsideScenario sc = sparse_rural_scenario();
+    deploy::RoadWorkload road;
+    road.spacing_m = 1000.0;
+    road.range_m = 20.0;
+    road.speed_mean_mps = 15.0;
+    road.speed_stddev_mps = 3.0;
+    road.speed_min_mps = 4.0;
+    road.through_fraction = 0.6;
+    auto fleet = std::make_shared<deploy::FleetSpec>(
+        deploy::FleetSpec::road(96, road, Strategy::kSnipOpt, 8.0));
+    fleet->flow_profile = sc.profile;
+    deploy::RoutingSpec routing;
+    routing.sink_node = 95;
+    routing.node_store_bytes = 16384.0;
+    routing.vehicle_store_bytes = 65536.0;
+    routing.drop_policy = deploy::DropPolicy::kOldestFirst;
+    routing.forwarding = deploy::ForwardingPolicy::kTimeCost;
+    routing.parcel_ttl_s = 6.0 * 3600.0;
+    routing.est_hop_delay_s = 900.0;
+    routing.handoff_risk_s = 450.0;
+    fleet->routing = routing;
+    auto faults = std::make_shared<fault::FaultSpec>();
+    faults->seed = 47;
+    faults->collection.handoff_loss_prob = 0.10;
+    faults->collection.max_retries = 2;
+    faults->collection.retry_backoff_s = 0.5;
+    fleet->faults = std::move(faults);
+    CatalogEntry entry = make_entry(
+        "chaos-lossy-collection",
+        "96-node relay network with 10% hand-off loss and two bounded "
+        "retries: delivery under loss pinned",
+        std::move(sc), {8.0});
+    entry.fleet = std::move(fleet);
+    entries.push_back(std::move(entry));
+  }
+
   return entries;
 }
 

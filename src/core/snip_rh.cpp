@@ -5,7 +5,30 @@
 #include <stdexcept>
 #include <utility>
 
+#include "snipr/core/checkpoint_io.hpp"
+
 namespace snipr::core {
+namespace {
+
+void append_ewma(std::string& out, const stats::Ewma& ewma) {
+  ckpt::append_double(out, ewma.mean_raw());
+  ckpt::append_u64(out, ewma.has_value() ? 1 : 0);
+  ckpt::append_u64(out, ewma.count());
+}
+
+bool read_ewma(ckpt::TokenReader& reader, stats::Ewma& ewma) {
+  double mean = 0.0;
+  std::uint64_t initialised = 0;
+  std::uint64_t count = 0;
+  if (!reader.read_double(mean) || !reader.read_u64(initialised) ||
+      !reader.read_u64(count)) {
+    return false;
+  }
+  ewma.restore(mean, initialised != 0, static_cast<std::size_t>(count));
+  return true;
+}
+
+}  // namespace
 
 SnipRh::SnipRh(RushHourMask mask, SnipRhConfig config)
     : mask_{std::move(mask)},
@@ -98,6 +121,47 @@ void SnipRh::on_contact_probed(const node::ProbedContactObservation& obs) {
   }
   if (sample_s > 0.0) tcontact_s_.add(sample_s);
   upload_bytes_.add(obs.bytes_uploaded);
+}
+
+std::string SnipRh::checkpoint() const {
+  std::string out;
+  out += "snip-rh-v1 ";
+  ckpt::append_u64(out, static_cast<std::uint64_t>(mask_.slot_count()));
+  for (std::size_t s = 0; s < mask_.slot_count(); ++s) {
+    ckpt::append_u64(out, mask_.bits()[s] ? 1 : 0);
+  }
+  append_ewma(out, tcontact_s_);
+  append_ewma(out, upload_bytes_);
+  return out;
+}
+
+bool SnipRh::restore(std::string_view blob) {
+  ckpt::TokenReader reader{blob};
+  if (!reader.expect("snip-rh-v1")) return false;
+  std::uint64_t slots = 0;
+  if (!reader.read_u64(slots) || slots != mask_.slot_count()) return false;
+  std::vector<bool> bits(static_cast<std::size_t>(slots), false);
+  for (std::size_t s = 0; s < bits.size(); ++s) {
+    std::uint64_t bit = 0;
+    if (!reader.read_u64(bit)) return false;
+    bits[s] = bit != 0;
+  }
+  stats::Ewma tcontact = tcontact_s_;
+  stats::Ewma upload = upload_bytes_;
+  if (!read_ewma(reader, tcontact) || !read_ewma(reader, upload) ||
+      !reader.exhausted()) {
+    return false;
+  }
+  mask_ = RushHourMask{mask_.epoch(), std::move(bits)};
+  tcontact_s_ = tcontact;
+  upload_bytes_ = upload;
+  return true;
+}
+
+void SnipRh::reset() {
+  tcontact_s_ =
+      stats::Ewma{config_.length_ewma_weight, config_.initial_tcontact_s};
+  upload_bytes_ = stats::Ewma{config_.upload_ewma_weight};
 }
 
 }  // namespace snipr::core

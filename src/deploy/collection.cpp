@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "snipr/fault/fault_plan.hpp"
 #include "snipr/node/data_buffer.hpp"
 
 namespace snipr::deploy {
@@ -326,14 +327,24 @@ NetworkOutcome run_collection(const CollectionInput& input) {
         routing.forwarding == ForwardingPolicy::kTimeCost &&
         node_cost_s(i, input.vehicles[k].speed_mps) <
             vehicle_cost_s(k, x)) {
-      const double before = vs.cargo_bytes;
-      const double accepted = store.deposit(ev.t_s, vs.cargo, budget);
-      if (accepted > 0.0) {
-        ++out.deposits;
-        out.deposit_bytes += accepted;
-        out.nodes[i].deposit_bytes += accepted;
-        vs.cargo_bytes = before - accepted;
-        budget -= accepted;
+      // Injected hand-off loss: failed attempts and retry backoff burn
+      // the session budget; abandonment grants 0 and the cargo stays
+      // aboard the carrier (byte conservation holds either way).
+      double allow = budget;
+      if (input.faults != nullptr) {
+        allow = input.faults->attempt_handoff(
+            std::min(vs.cargo_bytes, budget), budget);
+      }
+      if (allow >= kMinTransferBytes) {
+        const double before = vs.cargo_bytes;
+        const double accepted = store.deposit(ev.t_s, vs.cargo, allow);
+        if (accepted > 0.0) {
+          ++out.deposits;
+          out.deposit_bytes += accepted;
+          out.nodes[i].deposit_bytes += accepted;
+          vs.cargo_bytes = before - accepted;
+          budget -= accepted;
+        }
       }
     }
 
@@ -347,9 +358,14 @@ NetworkOutcome run_collection(const CollectionInput& input) {
       }
       const double free = vehicle_cap - vs.cargo_bytes;
       if (want && free >= kMinTransferBytes) {
+        // Same injected-loss discipline for the pickup direction; the
+        // data stays in the node store when the hand-off is abandoned.
+        double allow = std::min(budget, free);
+        if (input.faults != nullptr) {
+          allow = std::min(input.faults->attempt_handoff(allow, budget), free);
+        }
         scratch.clear();
-        const double taken =
-            store.take(ev.t_s, std::min(budget, free), scratch);
+        const double taken = store.take(ev.t_s, allow, scratch);
         if (taken > 0.0) {
           for (node::Parcel& p : scratch) {
             ++p.hops;

@@ -27,7 +27,8 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
                const SchedulerFactory& make_scheduler,
                const DeploymentConfig& config, std::size_t begin,
                std::size_t end, std::vector<NodeOutcome>& out,
-               std::vector<std::vector<node::ProbedContactRecord>>* probed) {
+               std::vector<std::vector<node::ProbedContactRecord>>* probed,
+               fault::FaultPlan* faults) {
   sim::Simulator simulator{config.seed};
 
   struct NodeWorld {
@@ -66,6 +67,13 @@ void run_shard(std::vector<contact::ContactSchedule>& schedules,
     w.sensor = std::make_unique<node::SensorNode>(
         simulator, *w.channel, *w.sink, *w.scheduler, node_config, block,
         i - begin);
+    if (faults != nullptr) {
+      // Node i's injector was forked in node order before partitioning,
+      // so its stream — and every fault decision — is independent of the
+      // shard layout. Injectors are never shared across nodes, so shard
+      // workers never race on one.
+      w.sensor->attach_faults(&faults->node(i));
+    }
     w.sensor->start();
     worlds.push_back(std::move(w));
   }
@@ -117,7 +125,8 @@ std::vector<contact::ContactSchedule> build_trace_schedules(
 DeploymentOutcome FleetEngine::run_with_probes(
     std::vector<contact::ContactSchedule> schedules,
     const SchedulerFactory& make_scheduler, const FleetConfig& config,
-    std::vector<std::vector<node::ProbedContactRecord>>* probed) const {
+    std::vector<std::vector<node::ProbedContactRecord>>* probed,
+    fault::FaultPlan* faults) const {
   if (schedules.empty()) {
     throw std::invalid_argument("FleetEngine: no schedules");
   }
@@ -156,18 +165,29 @@ DeploymentOutcome FleetEngine::run_with_probes(
     const std::size_t begin = n * s / shards;
     const std::size_t end = n * (s + 1) / shards;
     run_shard(schedules, node_rngs, make_scheduler, config.deployment, begin,
-              end, outcome.nodes, probed);
+              end, outcome.nodes, probed, faults);
   });
 
   finalize_outcome(outcome);
+  if (faults != nullptr) {
+    fault::ResilienceOutcome resilience;
+    resilience.probing = faults->merged_node_counters();
+    outcome.resilience = resilience;
+  }
   return outcome;
 }
 
 DeploymentOutcome FleetEngine::run(
     std::vector<contact::ContactSchedule> schedules,
-    const SchedulerFactory& make_scheduler, const FleetConfig& config) const {
-  return run_with_probes(std::move(schedules), make_scheduler, config,
-                         nullptr);
+    const SchedulerFactory& make_scheduler, const FleetConfig& config,
+    const fault::FaultSpec* faults) const {
+  if (faults == nullptr || !faults->enabled()) {
+    return run_with_probes(std::move(schedules), make_scheduler, config,
+                           nullptr, nullptr);
+  }
+  fault::FaultPlan plan{*faults, schedules.size()};
+  return run_with_probes(std::move(schedules), make_scheduler, config, nullptr,
+                         &plan);
 }
 
 DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
@@ -200,7 +220,7 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
           "(a trace replay has no vehicle identity to ferry data with)");
     }
     return run(build_trace_schedules(*trace, spec.nodes, horizon, root),
-               factory, config);
+               factory, config, spec.faults.get());
   }
 
   const RoadWorkload& road = *spec.road_workload();
@@ -247,7 +267,7 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
 
   if (!spec.routing.has_value()) {
     return run(build_road_schedules(positions, road.range_m, vehicles),
-               factory, config);
+               factory, config, spec.faults.get());
   }
 
   // --- Store-and-forward: run the probing layer with probed-contact
@@ -265,9 +285,17 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
     }
   }
 
+  const fault::FaultSpec* fault_spec = spec.faults.get();
+  const bool faults_on = fault_spec != nullptr && fault_spec->enabled();
+  std::unique_ptr<fault::FaultPlan> fault_plan;
+  if (faults_on) {
+    fault_plan = std::make_unique<fault::FaultPlan>(*fault_spec, spec.nodes);
+  }
+
   std::vector<std::vector<node::ProbedContactRecord>> probed;
-  DeploymentOutcome outcome = run_with_probes(std::move(plan.schedules),
-                                              factory, config, &probed);
+  DeploymentOutcome outcome =
+      run_with_probes(std::move(plan.schedules), factory, config, &probed,
+                      fault_plan.get());
 
   CollectionInput input;
   input.routing = *spec.routing;
@@ -295,7 +323,24 @@ DeploymentOutcome FleetEngine::run(const core::RoadsideScenario& scenario,
       input.sessions.push_back(session);
     }
   }
+  // Collection-layer faults consume the plan's dedicated stream (forked
+  // after every node stream) inside the single-threaded pass, so the
+  // draw order is the pass's own deterministic event order.
+  std::unique_ptr<fault::CollectionFaultState> collection_faults;
+  if (faults_on && fault_spec->collection.enabled()) {
+    collection_faults = std::make_unique<fault::CollectionFaultState>(
+        fault_spec->collection, fault_plan->collection_stream(),
+        config.deployment.link.data_rate_bps);
+    input.faults = collection_faults.get();
+  }
   outcome.network = run_collection(input);
+  if (outcome.resilience.has_value()) {
+    if (collection_faults != nullptr) {
+      outcome.resilience->collection = collection_faults->counters();
+    }
+    outcome.resilience->delivery_ratio_under_loss =
+        outcome.network->delivery_ratio;
+  }
   return outcome;
 }
 
@@ -307,9 +352,10 @@ std::string FleetEngine::to_json(const DeploymentOutcome& outcome) {
   std::string out;
   out.reserve(512 + (outcome.network.has_value() ? 256 : 128) *
                         outcome.nodes.size());
-  core::json::open_document(out, outcome.network.has_value()
-                                     ? core::json::kFleetSchemaV2
-                                     : core::json::kFleetSchemaV1);
+  const char* schema = outcome.network.has_value() ? core::json::kFleetSchemaV2
+                                                   : core::json::kFleetSchemaV1;
+  if (outcome.resilience.has_value()) schema = core::json::kFleetSchemaV3;
+  core::json::open_document(out, schema);
   append_uint_field(out, "nodes", outcome.nodes.size());
   append_field(out, "total_zeta_s", outcome.total_zeta_s);
   append_field(out, "total_phi_s", outcome.total_phi_s);
@@ -379,6 +425,26 @@ std::string FleetEngine::to_json(const DeploymentOutcome& outcome) {
       out += '}';
     }
     out += "]}";
+  }
+  if (outcome.resilience.has_value()) {
+    const fault::ResilienceOutcome& res = *outcome.resilience;
+    out += ",\"resilience\":{";
+    append_uint_field(out, "detections_lost", res.probing.detections_lost);
+    append_uint_field(out, "spurious_detections",
+                      res.probing.spurious_detections);
+    append_uint_field(out, "transfers_aborted", res.probing.transfers_aborted);
+    append_uint_field(out, "crashes", res.probing.crashes);
+    append_uint_field(out, "reconvergence_epochs",
+                      res.probing.reconvergence_epochs);
+    append_uint_field(out, "reconvergences", res.probing.reconvergences);
+    append_uint_field(out, "handoffs_lost", res.collection.handoffs_lost);
+    append_uint_field(out, "handoffs_retried",
+                      res.collection.handoffs_retried);
+    append_uint_field(out, "handoffs_abandoned",
+                      res.collection.handoffs_abandoned);
+    append_field(out, "delivery_ratio_under_loss",
+                 res.delivery_ratio_under_loss, /*comma=*/false);
+    out += '}';
   }
   out += '}';
   return out;

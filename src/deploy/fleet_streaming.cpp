@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "snipr/contact/trace_replay.hpp"
+#include "snipr/core/crc32.hpp"
 #include "snipr/core/json_writer.hpp"
 #include "snipr/core/strategy.hpp"
 #include "snipr/core/thread_pool.hpp"
@@ -248,10 +249,19 @@ ShardResult run_streaming_shard(StreamingInputs& in, std::size_t begin,
 // --- Checkpointing -----------------------------------------------------
 //
 // Text format, one value per token; doubles as hexfloats ("%a") so
-// restore round-trips bit-exactly. Written to <path>.tmp then renamed —
-// a crash mid-write leaves the previous checkpoint intact.
+// restore round-trips bit-exactly. Hardened (v2):
+//  - the last line is a CRC-32 frame over every preceding byte, so a
+//    torn write, truncation or bit flip is *detected*, never parsed into
+//    a silently-wrong accumulator;
+//  - writes go to <path>.tmp, the current checkpoint is demoted to
+//    <path>.prev, then the tmp is renamed in — keep-last-good: damage to
+//    the newest file costs at most one batch of progress;
+//  - restore prefers <path>, falls back to an intact <path>.prev when
+//    the main file is damaged or missing, and throws only when damage
+//    exists with no good fallback (a damaged checkpoint must never turn
+//    into a silent from-scratch rerun).
 
-constexpr const char* kCheckpointMagic = "snipr-fleet-checkpoint-v1";
+constexpr const char* kCheckpointMagic = "snipr-fleet-checkpoint-v2";
 
 void append_hex(std::string& out, double v) {
   char buf[48];
@@ -291,6 +301,12 @@ void write_checkpoint(const std::string& path, const FleetConfig& config,
   }
   out += '\n';
 
+  // CRC frame over every byte above, as the final line.
+  char crc_line[20];
+  std::snprintf(crc_line, sizeof crc_line, "crc %08x\n",
+                core::crc32(out));
+  out += crc_line;
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream f{tmp, std::ios::binary | std::ios::trunc};
@@ -299,38 +315,71 @@ void write_checkpoint(const std::string& path, const FleetConfig& config,
     }
     f << out;
   }
+  // Keep-last-good: demote the current checkpoint before promoting the
+  // new one. Both steps may fail benignly (first write: nothing to
+  // demote), so only the final promotion is checked.
+  const std::string prev = path + ".prev";
+  (void)std::remove(prev.c_str());
+  (void)std::rename(path.c_str(), prev.c_str());
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("run_streaming_fleet: cannot move checkpoint to " +
                              path);
   }
 }
 
-/// Restore a checkpoint into (shards_done, acc). Returns false when the
-/// file does not exist; throws when it exists but does not match this
-/// run's configuration (resuming someone else's run corrupts silently).
-bool read_checkpoint(const std::string& path, const FleetConfig& config,
-                     std::uint64_t nodes, std::uint64_t shards,
-                     std::uint64_t& shards_done, Accumulator& acc) {
-  std::ifstream f{path, std::ios::binary};
-  if (!f) return false;
+enum class CheckpointLoad { kMissing, kCorrupt, kOk };
+
+/// Parse one checkpoint file into (shards_done, acc) — committed only on
+/// success. kCorrupt covers torn writes, truncation, bit flips and
+/// foreign formats: anything the CRC frame or the parser rejects. A
+/// config mismatch throws instead — that file is *intact* but belongs to
+/// a different run, and resuming it would silently blend two runs.
+CheckpointLoad load_checkpoint(const std::string& path,
+                               const FleetConfig& config, std::uint64_t nodes,
+                               std::uint64_t shards,
+                               std::uint64_t& shards_done, Accumulator& acc) {
+  std::string content;
+  {
+    std::ifstream file{path, std::ios::binary};
+    if (!file) return CheckpointLoad::kMissing;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    content = buffer.str();
+  }
+  // Verify the CRC frame: the final line must read "crc <hex>" and match
+  // the CRC-32 of every byte before it.
+  const std::size_t crc_pos = content.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && content[crc_pos - 1] != '\n')) {
+    return CheckpointLoad::kCorrupt;
+  }
+  const std::string body = content.substr(0, crc_pos);
+  char* hex_end = nullptr;
+  const unsigned long stored =
+      std::strtoul(content.c_str() + crc_pos + 4, &hex_end, 16);
+  if (hex_end == content.c_str() + crc_pos + 4 ||
+      static_cast<std::uint32_t>(stored) != core::crc32(body)) {
+    return CheckpointLoad::kCorrupt;
+  }
+
+  std::istringstream f{body};
   std::string magic;
   std::getline(f, magic);
-  if (magic != kCheckpointMagic) {
-    throw std::runtime_error("run_streaming_fleet: bad checkpoint magic in " +
-                             path);
-  }
+  if (magic != kCheckpointMagic) return CheckpointLoad::kCorrupt;
   std::uint64_t ck_nodes = 0;
   std::uint64_t ck_epochs = 0;
   std::uint64_t ck_seed = 0;
   std::uint64_t ck_shards = 0;
-  f >> ck_nodes >> ck_epochs >> ck_seed >> ck_shards >> shards_done;
+  std::uint64_t ck_done = 0;
+  f >> ck_nodes >> ck_epochs >> ck_seed >> ck_shards >> ck_done;
+  if (!f) return CheckpointLoad::kCorrupt;
   if (ck_nodes != nodes || ck_epochs != config.deployment.epochs ||
       ck_seed != config.deployment.seed || ck_shards != shards ||
-      shards_done > shards) {
-    throw std::runtime_error(
-        "run_streaming_fleet: checkpoint " + path +
-        " belongs to a different run configuration");
+      ck_done > shards) {
+    throw std::runtime_error("run_streaming_fleet: checkpoint " + path +
+                             " belongs to a different run configuration");
   }
+  Accumulator parsed;
   stats::OnlineStats::Snapshot z;
   std::string tok;
   const auto next_double = [&]() {
@@ -342,23 +391,48 @@ bool read_checkpoint(const std::string& path, const FleetConfig& config,
   z.m2 = next_double();
   z.min = next_double();
   z.max = next_double();
-  acc.zeta.restore(z);
-  acc.total_zeta_s = next_double();
-  acc.total_phi_s = next_double();
-  acc.total_bytes = next_double();
-  f >> acc.contacts_probed >> acc.events;
+  parsed.zeta.restore(z);
+  parsed.total_zeta_s = next_double();
+  parsed.total_phi_s = next_double();
+  parsed.total_bytes = next_double();
+  f >> parsed.contacts_probed >> parsed.events;
   stats::QuantileSketch::Snapshot s;
   s.relative_error = next_double();
   std::size_t bucket_count = 0;
   f >> s.base >> s.zero_count >> bucket_count;
+  if (!f) return CheckpointLoad::kCorrupt;
   s.counts.resize(bucket_count);
   for (std::size_t i = 0; i < bucket_count; ++i) f >> s.counts[i];
-  if (!f) {
-    throw std::runtime_error("run_streaming_fleet: truncated checkpoint " +
-                             path);
+  if (!f) return CheckpointLoad::kCorrupt;
+  parsed.sketch = stats::QuantileSketch{s};
+  shards_done = ck_done;
+  acc = std::move(parsed);
+  return CheckpointLoad::kOk;
+}
+
+/// Restore a checkpoint into (shards_done, acc): the main file when it
+/// verifies, else an intact <path>.prev. Returns false when neither file
+/// exists (fresh start); throws when damage exists with no good
+/// fallback, or on a config mismatch.
+bool read_checkpoint(const std::string& path, const FleetConfig& config,
+                     std::uint64_t nodes, std::uint64_t shards,
+                     std::uint64_t& shards_done, Accumulator& acc) {
+  const CheckpointLoad main_state =
+      load_checkpoint(path, config, nodes, shards, shards_done, acc);
+  if (main_state == CheckpointLoad::kOk) return true;
+  const std::string prev = path + ".prev";
+  const CheckpointLoad prev_state =
+      load_checkpoint(prev, config, nodes, shards, shards_done, acc);
+  if (prev_state == CheckpointLoad::kOk) return true;
+  if (main_state == CheckpointLoad::kMissing &&
+      prev_state == CheckpointLoad::kMissing) {
+    return false;  // fresh start
   }
-  acc.sketch = stats::QuantileSketch{s};
-  return true;
+  // Some checkpoint exists but nothing verifies: surface it rather than
+  // silently recomputing from scratch (the damage may be a sign of a
+  // bigger problem, and the rerun cost may be enormous).
+  throw std::runtime_error("run_streaming_fleet: checkpoint " + path +
+                           " is damaged and no intact .prev fallback exists");
 }
 
 FleetSummary finalize(const Accumulator& acc, std::uint64_t nodes,
@@ -440,6 +514,12 @@ std::optional<FleetSummary> run_streaming_fleet(
     if (!options.checkpoint_path.empty()) {
       write_checkpoint(options.checkpoint_path, config, n, shards, done, acc);
     }
+  }
+  if (!options.checkpoint_path.empty()) {
+    // Completed: retire both generations, or a stale .prev could
+    // resurrect this run's partial state into a future one.
+    (void)std::remove(options.checkpoint_path.c_str());
+    (void)std::remove((options.checkpoint_path + ".prev").c_str());
   }
   return finalize(acc, n, config.deployment.epochs, shards);
 }

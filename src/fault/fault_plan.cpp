@@ -1,0 +1,124 @@
+#include "snipr/fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "snipr/core/json_writer.hpp"
+
+namespace snipr::fault {
+
+bool NodeFaultInjector::miss_probe(double contact_fraction) {
+  const RadioFaultSpec& radio = spec_->radio;
+  if (!(radio.probe_miss_prob > 0.0)) return false;
+  double p = radio.probe_miss_prob;
+  if (radio.snr_edge_weight > 0.0) {
+    // Parabolic edge factor: 0 at mid-contact, 1 at either edge — the
+    // vehicle is at maximum range (worst SNR) as the contact opens and
+    // closes.
+    const double f = std::clamp(contact_fraction, 0.0, 1.0);
+    const double edge = 1.0 - 4.0 * f * (1.0 - f);
+    p = std::min(1.0, p * (1.0 + radio.snr_edge_weight * edge));
+  }
+  const bool miss = rng_.bernoulli(p);
+  if (miss) ++counters_.detections_lost;
+  return miss;
+}
+
+bool NodeFaultInjector::spurious_detection() {
+  const double p = spec_->radio.spurious_detect_prob;
+  if (!(p > 0.0)) return false;
+  const bool spurious = rng_.bernoulli(p);
+  if (spurious) ++counters_.spurious_detections;
+  return spurious;
+}
+
+double NodeFaultInjector::transfer_abort_fraction() {
+  const double p = spec_->radio.transfer_abort_prob;
+  if (!(p > 0.0)) return 1.0;
+  if (!rng_.bernoulli(p)) return 1.0;
+  ++counters_.transfers_aborted;
+  return rng_.uniform();
+}
+
+bool NodeFaultInjector::crash_now() {
+  const double p = spec_->node.crash_prob_per_epoch;
+  if (!(p > 0.0)) return false;
+  const bool crash = rng_.bernoulli(p);
+  if (crash) ++counters_.crashes;
+  return crash;
+}
+
+double CollectionFaultState::attempt_handoff(double want,
+                                             double& budget_bytes) {
+  if (!(spec_.handoff_loss_prob > 0.0) || !(want > 0.0)) return want;
+  const double backoff_bytes = spec_.retry_backoff_s * data_rate_bps_;
+  std::uint32_t failures = 0;
+  while (rng_.bernoulli(spec_.handoff_loss_prob)) {
+    ++counters_.handoffs_lost;
+    ++failures;
+    // The failed attempt burned its airtime even though nothing landed.
+    budget_bytes = std::max(0.0, budget_bytes - want);
+    if (failures > spec_.max_retries) {
+      ++counters_.handoffs_abandoned;
+      return 0.0;
+    }
+    ++counters_.handoffs_retried;
+    // Backoff before the retry burns residual contact time too.
+    budget_bytes = std::max(0.0, budget_bytes - backoff_bytes);
+    want = std::min(want, budget_bytes);
+    if (!(want > 0.0)) {
+      ++counters_.handoffs_abandoned;
+      return 0.0;
+    }
+  }
+  return want;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::size_t nodes) : spec_{spec} {
+  // snipr-lint: allow(fault-stream-discipline) the plan root is the one
+  // place the fault seed may enter; every injector below forks from it.
+  sim::Rng root{spec_.seed};
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.emplace_back(&spec_, root.fork());
+  }
+  collection_stream_ = root.fork();
+}
+
+NodeResilience FaultPlan::merged_node_counters() const noexcept {
+  NodeResilience merged;
+  for (const NodeFaultInjector& injector : nodes_) {
+    merged.merge(injector.counters());
+  }
+  return merged;
+}
+
+std::string to_json(const FaultSpec& spec) {
+  using core::json::append_field;
+  using core::json::append_uint_field;
+
+  std::string out;
+  out.reserve(384);
+  core::json::open_document(out, "snipr.fault_plan.v1");
+  append_uint_field(out, "seed", spec.seed);
+  out += "\"radio\":{";
+  append_field(out, "probe_miss_prob", spec.radio.probe_miss_prob);
+  append_field(out, "snr_edge_weight", spec.radio.snr_edge_weight);
+  append_field(out, "spurious_detect_prob", spec.radio.spurious_detect_prob);
+  append_field(out, "transfer_abort_prob", spec.radio.transfer_abort_prob,
+               /*comma=*/false);
+  out += "},\"node\":{";
+  append_field(out, "crash_prob_per_epoch", spec.node.crash_prob_per_epoch);
+  append_uint_field(out, "restore_from_checkpoint",
+                    spec.node.restore_from_checkpoint ? 1 : 0);
+  append_field(out, "reconvergence_overlap", spec.node.reconvergence_overlap,
+               /*comma=*/false);
+  out += "},\"collection\":{";
+  append_field(out, "handoff_loss_prob", spec.collection.handoff_loss_prob);
+  append_uint_field(out, "max_retries", spec.collection.max_retries);
+  append_field(out, "retry_backoff_s", spec.collection.retry_backoff_s,
+               /*comma=*/false);
+  out += "}}";
+  return out;
+}
+
+}  // namespace snipr::fault

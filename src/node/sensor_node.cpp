@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "snipr/fault/fault_plan.hpp"
+
 namespace snipr::node {
 
 namespace {
@@ -140,8 +142,28 @@ void SensorNode::snip_wakeup() {
     probed = true;
   }
 
+  if (probed && faults_ != nullptr) {
+    // Injected radio false negative: the handshake happened in the world,
+    // but this node's receiver dropped it. The injector sees only how far
+    // into the contact the probe landed (an SNR proxy the radio itself
+    // embodies), never the schedule.
+    const auto active = channel_.active_contact(t0);
+    double contact_fraction = 0.0;
+    if (active.has_value() && active->length > sim::Duration::zero()) {
+      contact_fraction =
+          (t0 - active->arrival).to_seconds() / active->length.to_seconds();
+    }
+    if (faults_->miss_probe(contact_fraction)) probed = false;
+  }
+
   probing_meter_.accumulate(RadioState::kTx, link.beacon_airtime);
   if (!probed) {
+    if (faults_ != nullptr && faults_->spurious_detection()) {
+      // Radio false positive: a ghost reply. The scheduler (and through
+      // it the learner) records a detection that never was; no transfer
+      // follows, and the wakeup is charged like any other miss.
+      scheduler_.on_probe_detected(reply_end);
+    }
     // Listen out the rest of Ton, then sleep. Full Ton charged to Φ.
     probing_meter_.accumulate(RadioState::kListen,
                               listen_end - beacon_end);
@@ -211,6 +233,14 @@ void SensorNode::mip_wakeup() {
           ack_end <= cand->departure() &&
           channel_.try_deliver(b + link.beacon_airtime,
                                link.reply_airtime)) {
+        if (faults_ != nullptr && cand->length > sim::Duration::zero()) {
+          // Injected false negative: this beacon was dropped by the
+          // listener; keep listening — a later beacon in the window may
+          // still be caught.
+          const double contact_fraction =
+              (b - cand->arrival).to_seconds() / cand->length.to_seconds();
+          if (faults_->miss_probe(contact_fraction)) continue;
+        }
         probed = true;
         aware = ack_end;
         probing_meter_.accumulate(RadioState::kListen, b - t0);
@@ -222,6 +252,10 @@ void SensorNode::mip_wakeup() {
   }
 
   if (!probed) {
+    if (faults_ != nullptr && faults_->spurious_detection()) {
+      // Ghost beacon: the scheduler logs a detection that never was.
+      scheduler_.on_probe_detected(t0 + config_.ton);
+    }
     probing_meter_.accumulate(RadioState::kListen, config_.ton);
     block_->budget_used_us(lane_) += config_.ton.count();
     block_->phi_us(lane_) += config_.ton.count();
@@ -254,6 +288,21 @@ void SensorNode::begin_transfer(const contact::Contact& active,
     const sim::TimePoint drained = probe_time + sim::Duration::seconds(drain_s);
     if (drained < transfer_end) {
       transfer_end = drained;
+      saw_departure = false;
+    }
+  }
+
+  if (faults_ != nullptr) {
+    // Injected mid-transfer abort: the session dies at a uniform fraction
+    // of its planned duration and delivers only the truncated bytes. The
+    // node cannot tell an abort from a departure it slept through, so the
+    // observation is reported exactly like a truncated one
+    // (saw_departure = false) — the learner's censoring rules apply.
+    const double abort_fraction = faults_->transfer_abort_fraction();
+    if (abort_fraction < 1.0) {
+      const double planned_s = (transfer_end - probe_time).to_seconds();
+      transfer_end =
+          probe_time + sim::Duration::seconds(planned_s * abort_fraction);
       saw_departure = false;
     }
   }
@@ -307,8 +356,61 @@ void SensorNode::epoch_boundary() {
   // the same additions, in the same order, a history-based summary does.
   block_->fold_epoch(lane_);
   ++epoch_index_;
-  scheduler_.on_epoch_start(epoch_index_);
+  if (faults_ != nullptr) {
+    crash_and_recovery_step();
+  } else {
+    scheduler_.on_epoch_start(epoch_index_);
+  }
   sim_.schedule_after(config_.epoch, [this] { epoch_boundary(); });
+}
+
+void SensorNode::crash_and_recovery_step() {
+  // Crash before the epoch-start hook: a node that died overnight reboots
+  // into the new epoch, and whatever state survived is what the scheduler
+  // folds its first post-crash epoch with.
+  if (faults_->crash_now()) {
+    const bool restored = faults_->spec().node.restore_from_checkpoint &&
+                          !checkpoint_.empty() &&
+                          scheduler_.restore(checkpoint_);
+    if (!restored) {
+      // Amnesia reboot: back to as-constructed state. If the node had a
+      // learned mask, start measuring how long it takes to re-cover it.
+      scheduler_.reset();
+      bool had_mask = false;
+      for (const bool bit : last_good_mask_bits_) had_mask = had_mask || bit;
+      reconverging_ = had_mask;
+    }
+  }
+  scheduler_.on_epoch_start(epoch_index_);
+
+  if (reconverging_) {
+    const std::vector<bool> bits = scheduler_.rush_mask_bits();
+    std::size_t target_rush = 0;
+    std::size_t matched = 0;
+    for (std::size_t s = 0; s < last_good_mask_bits_.size(); ++s) {
+      if (!last_good_mask_bits_[s]) continue;
+      ++target_rush;
+      if (s < bits.size() && bits[s]) ++matched;
+    }
+    const double overlap =
+        target_rush == 0
+            ? 1.0
+            : static_cast<double>(matched) / static_cast<double>(target_rush);
+    if (overlap >= faults_->spec().node.reconvergence_overlap) {
+      ++faults_->counters().reconvergences;
+      reconverging_ = false;
+    } else {
+      ++faults_->counters().reconvergence_epochs;
+    }
+  }
+  if (!reconverging_) {
+    // Healthy epoch: today's mask becomes the next crash's target.
+    last_good_mask_bits_ = scheduler_.rush_mask_bits();
+  }
+  if (faults_->spec().node.restore_from_checkpoint &&
+      faults_->spec().node.enabled()) {
+    checkpoint_ = scheduler_.checkpoint();
+  }
 }
 
 }  // namespace snipr::node

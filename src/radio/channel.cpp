@@ -57,8 +57,27 @@ std::optional<contact::Contact> Channel::next_arrival_at_or_after(
 }
 
 bool Channel::try_deliver(sim::TimePoint start, sim::Duration airtime) {
+  if (!(airtime > sim::Duration::zero())) {
+    // A zero-length frame carries no bytes over the air (a transfer with
+    // zero bytes remaining degenerates to this). It is deliverable
+    // whenever the receiver is in range at the instant itself — under the
+    // *closed* interval [arrival, departure], since exactly-at-departure
+    // and zero-length contacts are still "in range for the whole (empty)
+    // airtime" — and it must not consume a frame-loss draw: there is no
+    // airtime to lose a frame in, and a draw here would shift every later
+    // draw in the node's stream.
+    const std::vector<contact::Contact>& contacts = schedule_->contacts();
+    const std::size_t i = position_cursor(start);
+    if (i < contacts.size() && contacts[i].covers(start)) return true;
+    // Exactly at a departure boundary the cursor has stepped past the
+    // contact (departures are non-decreasing, so if any earlier contact
+    // departs exactly at `start`, the one just behind the cursor does).
+    return i > 0 && contacts[i - 1].departure() == start;
+  }
   const auto active = active_contact(start);
   if (!active.has_value()) return false;
+  // A frame ending exactly at departure is still fully in range
+  // ([start, start+airtime) against [arrival, departure)): strict >.
   if (start + airtime > active->departure()) return false;
   if (link_.frame_loss > 0.0 && rng_.bernoulli(link_.frame_loss)) return false;
   return true;

@@ -1,0 +1,165 @@
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/json_writer.hpp"
+#include "snipr/core/scenario.hpp"
+#include "snipr/deploy/fleet_engine.hpp"
+#include "snipr/fault/fault_plan.hpp"
+
+/// Randomized fault-seed sweep (`ctest -L chaos`): for each round, build
+/// a FaultSpec from a seeded generator, run a small fleet under it at two
+/// different shard counts, and check the invariants every plan must
+/// uphold regardless of its draws — byte-identical JSON across shards,
+/// sane counter algebra, delivery ratios inside [0, 1].
+///
+/// CI runs this twice, mirroring the fuzz jobs: once with the fixed
+/// default seed in the blocking matrix, and once in a non-blocking job
+/// with SNIPR_CHAOS_SEED randomized and SNIPR_CHAOS_ROUNDS raised. A
+/// failing round writes the offending plan's `snipr.fault_plan.v1` JSON
+/// to SNIPR_CHAOS_ARTIFACT_DIR (default: cwd), so the exact plan is
+/// reproducible from the uploaded artifact alone.
+
+namespace snipr::deploy {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("SNIPR_CHAOS_SEED");
+      env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xDECAFULL;
+}
+
+std::size_t chaos_rounds() {
+  if (const char* env = std::getenv("SNIPR_CHAOS_ROUNDS");
+      env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 3;
+}
+
+std::string save_failing_plan(const fault::FaultSpec& spec,
+                              std::uint64_t seed, std::size_t round) {
+  const char* dir = std::getenv("SNIPR_CHAOS_ARTIFACT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0' ? dir : ".";
+  path += "/chaos_failure_seed" + std::to_string(seed) + "_round" +
+          std::to_string(round) + ".json";
+  std::ofstream os{path, std::ios::binary};
+  os << fault::to_json(spec);
+  return path;
+}
+
+/// Draw one fault plan from the round's stream. Probabilities stay in a
+/// hostile-but-survivable band; every fault class is always on so each
+/// round exercises all injection sites.
+fault::FaultSpec random_spec(sim::Rng& rng) {
+  fault::FaultSpec spec;
+  spec.seed = rng.uniform_int(1ULL << 20) + 1;
+  spec.radio.probe_miss_prob = 0.02 + 0.2 * rng.uniform();
+  spec.radio.snr_edge_weight = rng.uniform();
+  spec.radio.spurious_detect_prob = 0.02 * rng.uniform();
+  spec.radio.transfer_abort_prob = 0.2 * rng.uniform();
+  spec.node.crash_prob_per_epoch = 0.02 + 0.2 * rng.uniform();
+  spec.node.restore_from_checkpoint = rng.uniform_int(2) == 1;
+  spec.collection.handoff_loss_prob = 0.02 + 0.2 * rng.uniform();
+  spec.collection.max_retries = static_cast<std::uint32_t>(
+      rng.uniform_int(4));
+  spec.collection.retry_backoff_s = rng.uniform();
+  return spec;
+}
+
+FleetSpec sweep_fleet(std::shared_ptr<const fault::FaultSpec> faults) {
+  RoadWorkload road;
+  road.spacing_m = 300.0;
+  road.range_m = 10.0;
+  road.speed_mean_mps = 10.0;
+  road.speed_stddev_mps = 1.5;
+  road.speed_min_mps = 2.0;
+  road.through_fraction = 0.7;
+  FleetSpec spec = FleetSpec::road(24, road, core::Strategy::kAdaptive, 16.0);
+  spec.exploration.kind = core::ExplorationPolicyKind::kEpsilonFloor;
+  RoutingSpec routing;
+  routing.node_store_bytes = 8192.0;
+  routing.drop_policy = DropPolicy::kOldestFirst;
+  routing.forwarding = ForwardingPolicy::kGreedySink;
+  spec.routing = routing;
+  spec.faults = std::move(faults);
+  return spec;
+}
+
+::testing::AssertionResult invariants_hold(const DeploymentOutcome& outcome,
+                                           const std::string& one_shard,
+                                           const std::string& four_shards) {
+  if (one_shard != four_shards) {
+    return ::testing::AssertionFailure()
+           << "faulted run is not shard-invariant";
+  }
+  if (core::json::extract_schema(one_shard) != "snipr.fleet.v3") {
+    return ::testing::AssertionFailure()
+           << "enabled plan did not bump the schema to v3";
+  }
+  if (!outcome.resilience.has_value()) {
+    return ::testing::AssertionFailure() << "missing resilience section";
+  }
+  const fault::ResilienceOutcome& res = *outcome.resilience;
+  if (res.probing.reconvergences > res.probing.crashes) {
+    return ::testing::AssertionFailure()
+           << "more re-convergences (" << res.probing.reconvergences
+           << ") than crashes (" << res.probing.crashes << ")";
+  }
+  if (res.collection.handoffs_abandoned > res.collection.handoffs_lost) {
+    return ::testing::AssertionFailure()
+           << "more abandonments (" << res.collection.handoffs_abandoned
+           << ") than lost attempts (" << res.collection.handoffs_lost
+           << ")";
+  }
+  if (res.delivery_ratio_under_loss < 0.0 ||
+      res.delivery_ratio_under_loss > 1.0) {
+    return ::testing::AssertionFailure()
+           << "delivery ratio " << res.delivery_ratio_under_loss
+           << " outside [0, 1]";
+  }
+  if (!outcome.network.has_value()) {
+    return ::testing::AssertionFailure()
+           << "routing-enabled run lost its network section";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ChaosSeedSweep, RandomPlansUpholdInvariantsAtAnyShardCount) {
+  const std::uint64_t seed = chaos_seed();
+  const std::size_t rounds = chaos_rounds();
+  const core::RoadsideScenario scenario;
+  sim::Rng rng{seed};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto faults = std::make_shared<fault::FaultSpec>(random_spec(rng));
+    const FleetSpec spec = sweep_fleet(faults);
+    FleetConfig config;
+    config.deployment = make_fleet_deployment_config(
+        scenario, spec, scenario.phi_max_small_s(), /*epochs=*/3,
+        /*seed=*/seed + round);
+    const FleetEngine engine;
+    config.shards = 1;
+    config.threads = 1;
+    const DeploymentOutcome outcome = engine.run(scenario, spec, config);
+    const std::string one_shard = FleetEngine::to_json(outcome);
+    config.shards = 4;
+    config.threads = 2;
+    const std::string four_shards =
+        FleetEngine::to_json(engine.run(scenario, spec, config));
+    const auto verdict = invariants_hold(outcome, one_shard, four_shards);
+    if (!verdict) {
+      ADD_FAILURE() << verdict.message() << "\nseed " << seed << " round "
+                    << round << "; plan saved to "
+                    << save_failing_plan(*faults, seed, round);
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snipr::deploy

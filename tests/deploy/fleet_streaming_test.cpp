@@ -1,6 +1,8 @@
 #include "snipr/deploy/fleet_streaming.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,18 @@
 
 namespace snipr::deploy {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
 
 /// A small road fleet from the catalog: real scenario, real schedulers,
 /// few enough node-epochs that every test replays it several times.
@@ -93,6 +107,7 @@ TEST(FleetStreaming, CheckpointResumeIsBitIdentical) {
   const std::string path =
       ::testing::TempDir() + "/fleet_streaming_checkpoint";
   std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
   StreamingOptions slice;
   slice.checkpoint_path = path;
   slice.batch_shards = 1;
@@ -115,6 +130,7 @@ TEST(FleetStreaming, MismatchedCheckpointIsRejected) {
   const std::string path =
       ::testing::TempDir() + "/fleet_streaming_checkpoint_mismatch";
   std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
   StreamingOptions slice;
   slice.checkpoint_path = path;
   slice.max_shards = 2;
@@ -129,6 +145,107 @@ TEST(FleetStreaming, MismatchedCheckpointIsRejected) {
                                 slice),
       std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(FleetStreaming, TornCheckpointFallsBackToPreviousGeneration) {
+  // A write torn mid-stream (power loss after the rename of the old
+  // generation) must not poison the run: the CRC frame rejects the
+  // truncated file and restore falls back to <path>.prev, redoing only
+  // the shards since the previous generation — bit-identically.
+  const FleetCase s = small_fleet(24, 6);
+  const auto reference = run_streaming_fleet(s.scenario, s.spec, s.config);
+  ASSERT_TRUE(reference.has_value());
+
+  const std::string path = ::testing::TempDir() + "/fleet_streaming_torn";
+  const std::string prev = path + ".prev";
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+  StreamingOptions slice;
+  slice.checkpoint_path = path;
+  slice.batch_shards = 1;
+  slice.max_shards = 3;
+  ASSERT_FALSE(
+      run_streaming_fleet(s.scenario, s.spec, s.config, slice).has_value());
+  // Three single-shard batches wrote three generations: main holds
+  // shards 1-3, .prev shards 1-2. Tear the newest one in half.
+  const std::string intact = slurp(path);
+  ASSERT_FALSE(intact.empty());
+  ASSERT_FALSE(slurp(prev).empty());
+  spill(path, intact.substr(0, intact.size() / 2));
+
+  StreamingOptions resume;
+  resume.checkpoint_path = path;
+  const auto resumed =
+      run_streaming_fleet(s.scenario, s.spec, s.config, resume);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(to_json(*resumed), to_json(*reference));
+}
+
+TEST(FleetStreaming, BitFlippedCheckpointFallsBackToPreviousGeneration) {
+  const FleetCase s = small_fleet(24, 6);
+  const auto reference = run_streaming_fleet(s.scenario, s.spec, s.config);
+  ASSERT_TRUE(reference.has_value());
+
+  const std::string path = ::testing::TempDir() + "/fleet_streaming_flip";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  StreamingOptions slice;
+  slice.checkpoint_path = path;
+  slice.batch_shards = 1;
+  slice.max_shards = 3;
+  ASSERT_FALSE(
+      run_streaming_fleet(s.scenario, s.spec, s.config, slice).has_value());
+  // Flip one bit in the middle of the body: the text still parses as a
+  // plausible checkpoint, so only the CRC frame can catch it.
+  std::string bytes = slurp(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 3] ^= 0x01;
+  spill(path, bytes);
+
+  StreamingOptions resume;
+  resume.checkpoint_path = path;
+  const auto resumed =
+      run_streaming_fleet(s.scenario, s.spec, s.config, resume);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(to_json(*resumed), to_json(*reference));
+}
+
+TEST(FleetStreaming, DamageWithoutFallbackThrows) {
+  // Damage with no intact generation anywhere must never degrade into a
+  // silent from-scratch rerun — the caller has to see it.
+  const FleetCase s = small_fleet(24, 6);
+  const std::string path = ::testing::TempDir() + "/fleet_streaming_damaged";
+  const std::string prev = path + ".prev";
+  std::remove(prev.c_str());
+  spill(path, "snipr-fleet-checkpoint-v2\nnot a real checkpoint\n");
+  StreamingOptions opts;
+  opts.checkpoint_path = path;
+  EXPECT_THROW(
+      (void)run_streaming_fleet(s.scenario, s.spec, s.config, opts),
+      std::runtime_error);
+  // A damaged .prev beside the damaged main is no better.
+  spill(prev, "garbage");
+  EXPECT_THROW(
+      (void)run_streaming_fleet(s.scenario, s.spec, s.config, opts),
+      std::runtime_error);
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+}
+
+TEST(FleetStreaming, CompletionRetiresBothCheckpointGenerations) {
+  // After a run completes, neither generation may linger: a stale .prev
+  // would resurrect this run's partial state into a future run.
+  const FleetCase s = small_fleet(24, 6);
+  const std::string path = ::testing::TempDir() + "/fleet_streaming_retire";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  StreamingOptions opts;
+  opts.checkpoint_path = path;
+  opts.batch_shards = 1;
+  ASSERT_TRUE(
+      run_streaming_fleet(s.scenario, s.spec, s.config, opts).has_value());
+  EXPECT_TRUE(slurp(path).empty());
+  EXPECT_TRUE(slurp(path + ".prev").empty());
 }
 
 TEST(FleetStreaming, RejectsRoutingAndEmptyFleets) {

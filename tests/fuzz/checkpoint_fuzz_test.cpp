@@ -1,0 +1,223 @@
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/scenario_catalog.hpp"
+#include "snipr/deploy/fleet_streaming.hpp"
+#include "snipr/sim/rng.hpp"
+
+/// Fuzz-style robustness harness for the streaming-fleet checkpoint
+/// reader (registered under `ctest -L fuzz`): a seeded corruptor mutates
+/// the on-disk checkpoint — byte flips, truncations, insertions, line
+/// drops, whole-file garbage — and every resume must end in one of the
+/// two sanctioned outcomes:
+///
+///   1. the run completes with output byte-identical to an uninterrupted
+///      run (the corruption was caught and an intact generation — the
+///      .prev fallback or the file's own surviving CRC — carried it), or
+///   2. the resume throws std::runtime_error (damage with no fallback).
+///
+/// Never a crash, never a hang, and above all never a *wrong* result: a
+/// corrupted accumulator that parses must be rejected by the CRC frame,
+/// not folded into the output. Honours SNIPR_FUZZ_SEED / SNIPR_FUZZ_TIME_S
+/// / SNIPR_FUZZ_ARTIFACT_DIR exactly like the other fuzz harnesses.
+
+namespace snipr::deploy {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("SNIPR_FUZZ_SEED");
+      env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xBADC0DEULL;
+}
+
+double fuzz_time_box_s() {
+  if (const char* env = std::getenv("SNIPR_FUZZ_TIME_S");
+      env != nullptr && env[0] != '\0') {
+    return std::strtod(env, nullptr);
+  }
+  return 0.0;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string mutate_once(std::string text, sim::Rng& rng) {
+  if (text.empty()) return text;
+  switch (rng.uniform_int(6)) {
+    case 0:  // flip a byte
+      text[rng.uniform_int(text.size())] =
+          static_cast<char>(rng.uniform_int(256));
+      return text;
+    case 1:  // delete a byte
+      text.erase(rng.uniform_int(text.size()), 1);
+      return text;
+    case 2:  // insert a byte
+      text.insert(text.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.uniform_int(text.size() + 1)),
+                  static_cast<char>(rng.uniform_int(256)));
+      return text;
+    case 3:  // truncate (the torn write)
+      text.resize(rng.uniform_int(text.size()));
+      return text;
+    case 4: {  // drop one line
+      const std::size_t start = rng.uniform_int(text.size());
+      const std::size_t line_start = text.rfind('\n', start);
+      const std::size_t begin =
+          line_start == std::string::npos ? 0 : line_start + 1;
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      return text;
+    }
+    default:  // replace everything with garbage of the same length
+      for (char& c : text) c = static_cast<char>(rng.uniform_int(256));
+      return text;
+  }
+}
+
+std::string save_failing_checkpoint(const std::string& bytes,
+                                    std::uint64_t seed,
+                                    std::size_t iteration) {
+  const char* dir = std::getenv("SNIPR_FUZZ_ARTIFACT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0' ? dir : ".";
+  path += "/checkpoint_fuzz_failure_seed" + std::to_string(seed) + "_iter" +
+          std::to_string(iteration) + ".bin";
+  std::ofstream os{path, std::ios::binary};
+  os << bytes;
+  return path;
+}
+
+struct StreamingCase {
+  core::RoadsideScenario scenario;
+  FleetSpec spec;
+  FleetConfig config;
+};
+
+StreamingCase small_case() {
+  for (const auto& entry : core::ScenarioCatalog::instance().entries()) {
+    if (!entry.is_fleet() || entry.fleet->road_workload() == nullptr ||
+        entry.fleet->routing.has_value()) {
+      continue;
+    }
+    StreamingCase c{entry.scenario, *entry.fleet, {}};
+    c.spec.nodes = 24;
+    c.spec.routing.reset();
+    c.spec.faults.reset();
+    c.config.deployment = make_fleet_deployment_config(
+        entry.scenario, c.spec, entry.phi_max_s, /*epochs=*/2, /*seed=*/7);
+    c.config.shards = 6;
+    return c;
+  }
+  throw std::logic_error("no road fleet entry in the catalog");
+}
+
+TEST(CheckpointFuzz, CorruptedCheckpointsNeverYieldSilentlyWrongResults) {
+  const std::uint64_t seed = fuzz_seed();
+  const double time_box_s = fuzz_time_box_s();
+  const std::size_t fixed_iterations = 60;
+  const StreamingCase c = small_case();
+
+  const std::string reference_json = [&] {
+    const auto reference = run_streaming_fleet(c.scenario, c.spec, c.config);
+    return to_json(*reference);
+  }();
+
+  // Capture a mid-run checkpoint pair: three single-shard batches leave
+  // main holding shards 1-3 and .prev holding shards 1-2.
+  const std::string path = ::testing::TempDir() + "/checkpoint_fuzz";
+  const std::string prev = path + ".prev";
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+  StreamingOptions slice;
+  slice.checkpoint_path = path;
+  slice.batch_shards = 1;
+  slice.max_shards = 3;
+  ASSERT_FALSE(
+      run_streaming_fleet(c.scenario, c.spec, c.config, slice).has_value());
+  const std::string pristine_main = slurp(path);
+  const std::string pristine_prev = slurp(prev);
+  ASSERT_FALSE(pristine_main.empty());
+  ASSERT_FALSE(pristine_prev.empty());
+
+  StreamingOptions resume;
+  resume.checkpoint_path = path;
+  sim::Rng rng{seed};
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t iteration = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  for (;; ++iteration) {
+    if (time_box_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= time_box_s) break;
+    } else if (iteration >= fixed_iterations) {
+      break;
+    }
+    std::string main_bytes = pristine_main;
+    const std::uint64_t mutations = 1 + rng.uniform_int(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      main_bytes = mutate_once(std::move(main_bytes), rng);
+    }
+    spill(path, main_bytes);
+    // One round in three corrupts the fallback generation too, so the
+    // throw path gets continuous coverage.
+    const bool prev_corrupt = rng.uniform_int(3) == 0;
+    spill(prev, prev_corrupt ? mutate_once(pristine_prev, rng)
+                             : pristine_prev);
+    try {
+      const auto resumed =
+          run_streaming_fleet(c.scenario, c.spec, c.config, resume);
+      ASSERT_TRUE(resumed.has_value());
+      if (to_json(*resumed) != reference_json) {
+        ADD_FAILURE() << "corrupted checkpoint produced a wrong result\n"
+                      << "seed " << seed << " iteration " << iteration
+                      << "; checkpoint saved to "
+                      << save_failing_checkpoint(main_bytes, seed, iteration);
+        return;
+      }
+      ++completed;
+    } catch (const std::runtime_error&) {
+      ++rejected;  // the sanctioned no-fallback outcome
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "unexpected exception type: '" << e.what() << "'\n"
+                    << "seed " << seed << " iteration " << iteration
+                    << "; checkpoint saved to "
+                    << save_failing_checkpoint(main_bytes, seed, iteration);
+      return;
+    }
+  }
+  RecordProperty("iterations", static_cast<int>(iteration));
+  RecordProperty("completed", static_cast<int>(completed));
+  RecordProperty("rejected", static_cast<int>(rejected));
+  // The corruptor must exercise both sanctioned outcomes with the fixed
+  // seed, or the harness is testing less than it claims.
+  if (time_box_s == 0.0) {
+    EXPECT_GT(completed, 0U);
+    EXPECT_GT(rejected, 0U);
+  }
+  std::remove(path.c_str());
+  std::remove(prev.c_str());
+}
+
+}  // namespace
+}  // namespace snipr::deploy

@@ -1,0 +1,188 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "snipr/core/exploration_policy.hpp"
+#include "snipr/core/scenario.hpp"
+#include "snipr/core/strategy.hpp"
+#include "snipr/node/scheduler.hpp"
+#include "snipr/sim/rng.hpp"
+
+/// Property: the scheduler checkpoint/restore seam is a bit-exact state
+/// capture for every strategy x exploration policy. Drive a scheduler
+/// through a random observation history, checkpoint it, restore the blob
+/// into a twin constructed from the same configuration, and the twin
+/// must (a) re-emit an identical checkpoint and (b) behave identically
+/// under an identical continuation — the fault plane's
+/// restore_from_checkpoint mode depends on exactly this.
+
+namespace snipr::node {
+namespace {
+
+struct PolicyPoint {
+  core::Strategy strategy;
+  core::ExplorationPolicyKind exploration;
+};
+
+std::vector<PolicyPoint> all_policy_points() {
+  std::vector<PolicyPoint> points;
+  for (const core::Strategy strategy : core::all_strategies()) {
+    if (strategy == core::Strategy::kAdaptive) {
+      for (const auto kind : {core::ExplorationPolicyKind::kNone,
+                              core::ExplorationPolicyKind::kEpsilonFloor,
+                              core::ExplorationPolicyKind::kOptimistic,
+                              core::ExplorationPolicyKind::kUcb}) {
+        points.push_back({strategy, kind});
+      }
+    } else {
+      points.push_back({strategy, core::ExplorationPolicyKind::kNone});
+    }
+  }
+  return points;
+}
+
+std::unique_ptr<Scheduler> build(const core::RoadsideScenario& scenario,
+                                 const PolicyPoint& point) {
+  core::ExplorationConfig exploration;
+  exploration.kind = point.exploration;
+  return core::make_scheduler(scenario, point.strategy, /*zeta_target_s=*/16.0,
+                              scenario.phi_max_small_s(), exploration);
+}
+
+/// Feed `scheduler` a pseudo-random but deterministic history of epochs,
+/// wakeups, detections and completed transfers drawn from `rng`.
+void drive(Scheduler& scheduler, sim::Rng& rng, std::int64_t first_epoch,
+           std::int64_t epochs) {
+  const double epoch_s = 86400.0;
+  for (std::int64_t e = first_epoch; e < first_epoch + epochs; ++e) {
+    scheduler.on_epoch_start(e);
+    const double start_s = static_cast<double>(e) * epoch_s;
+    sim::Duration used = sim::Duration::zero();
+    const std::uint64_t wakeups = 4 + rng.uniform_int(8);
+    for (std::uint64_t w = 0; w < wakeups; ++w) {
+      SensorContext ctx;
+      ctx.now = sim::TimePoint::at(
+          sim::Duration::seconds(start_s + rng.uniform(0.0, epoch_s)));
+      ctx.buffer_bytes = rng.uniform(0.0, 4096.0);
+      ctx.budget_used = used;
+      ctx.budget_limit = sim::Duration::seconds(86.4);
+      ctx.epoch_index = e;
+      const SchedulerDecision decision = scheduler.on_wakeup(ctx);
+      ASSERT_GT(decision.next_wakeup, sim::Duration::zero());
+      if (!decision.probe) continue;
+      used = used + sim::Duration::seconds(0.02);
+      if (rng.uniform_int(2) == 0) continue;  // probe found nothing
+      scheduler.on_probe_detected(ctx.now);
+      ProbedContactObservation obs;
+      obs.probe_time = ctx.now;
+      obs.observed_probed_len =
+          sim::Duration::seconds(rng.uniform(0.1, 2.0));
+      obs.bytes_uploaded = rng.uniform(0.0, 2048.0);
+      obs.cycle_at_probe = sim::Duration::seconds(rng.uniform(0.05, 1.0));
+      obs.saw_departure = rng.uniform_int(4) != 0;
+      scheduler.on_contact_probed(obs);
+    }
+  }
+}
+
+/// Both schedulers must make identical decisions over an identical
+/// continuation history.
+void expect_twins(Scheduler& a, Scheduler& b, std::uint64_t seed,
+                  std::int64_t first_epoch) {
+  sim::Rng rng_a{seed};
+  sim::Rng rng_b{seed};
+  const double epoch_s = 86400.0;
+  for (std::int64_t e = first_epoch; e < first_epoch + 3; ++e) {
+    a.on_epoch_start(e);
+    b.on_epoch_start(e);
+    EXPECT_EQ(a.rush_mask_bits(), b.rush_mask_bits()) << "epoch " << e;
+    for (int w = 0; w < 8; ++w) {
+      SensorContext ctx;
+      ctx.now = sim::TimePoint::at(sim::Duration::seconds(
+          static_cast<double>(e) * epoch_s + rng_a.uniform(0.0, epoch_s)));
+      (void)rng_b.uniform(0.0, epoch_s);
+      ctx.buffer_bytes = 512.0;
+      ctx.budget_limit = sim::Duration::seconds(86.4);
+      ctx.epoch_index = e;
+      const SchedulerDecision da = a.on_wakeup(ctx);
+      const SchedulerDecision db = b.on_wakeup(ctx);
+      EXPECT_EQ(da.probe, db.probe) << "epoch " << e << " wakeup " << w;
+      EXPECT_EQ(da.next_wakeup, db.next_wakeup)
+          << "epoch " << e << " wakeup " << w;
+    }
+  }
+}
+
+TEST(SchedulerCheckpoint, RoundTripIsBitExactForEveryPolicy) {
+  const core::RoadsideScenario scenario;
+  for (const PolicyPoint& point : all_policy_points()) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      auto original = build(scenario, point);
+      sim::Rng history{seed * 7919};
+      drive(*original, history, /*first_epoch=*/0,
+            /*epochs=*/static_cast<std::int64_t>(3 + seed));
+      const std::string blob = original->checkpoint();
+
+      auto twin = build(scenario, point);
+      ASSERT_TRUE(twin->restore(blob))
+          << original->name() << " seed " << seed
+          << ": restore rejected its own checkpoint";
+      // (a) The restored twin re-emits the identical blob.
+      EXPECT_EQ(twin->checkpoint(), blob)
+          << original->name() << " seed " << seed;
+      EXPECT_EQ(twin->rush_mask_bits(), original->rush_mask_bits())
+          << original->name() << " seed " << seed;
+      // (b) ...and behaves identically from here on.
+      expect_twins(*original, *twin, seed * 104729,
+                   static_cast<std::int64_t>(3 + seed));
+    }
+  }
+}
+
+TEST(SchedulerCheckpoint, RestoreRejectsForeignAndCorruptBlobs) {
+  const core::RoadsideScenario scenario;
+  for (const PolicyPoint& point : all_policy_points()) {
+    auto scheduler = build(scenario, point);
+    sim::Rng history{1234};
+    drive(*scheduler, history, 0, 4);
+    const std::string blob = scheduler->checkpoint();
+    if (blob.empty()) continue;  // stateless policy: nothing to corrupt
+
+    // Truncation, token garbling and a foreign magic must all be
+    // rejected — and rejection must not corrupt the scheduler: its own
+    // checkpoint must be unchanged afterwards.
+    auto victim = build(scenario, point);
+    sim::Rng replay{1234};
+    drive(*victim, replay, 0, 4);
+    EXPECT_FALSE(victim->restore(blob.substr(0, blob.size() / 2)))
+        << scheduler->name();
+    EXPECT_FALSE(victim->restore("bogus-magic-v1 1 2 3"))
+        << scheduler->name();
+    std::string garbled = blob;
+    garbled += " trailing-junk";
+    EXPECT_FALSE(victim->restore(garbled)) << scheduler->name();
+    EXPECT_EQ(victim->checkpoint(), blob)
+        << scheduler->name() << ": failed restore mutated state";
+  }
+}
+
+TEST(SchedulerCheckpoint, ResetIsAmnesiaNotReconfiguration) {
+  const core::RoadsideScenario scenario;
+  for (const PolicyPoint& point : all_policy_points()) {
+    auto learned = build(scenario, point);
+    sim::Rng history{42};
+    drive(*learned, history, 0, 5);
+    learned->reset();
+    // A reset scheduler must behave like a freshly constructed one.
+    auto fresh = build(scenario, point);
+    EXPECT_EQ(learned->checkpoint(), fresh->checkpoint())
+        << learned->name();
+    EXPECT_EQ(learned->rush_mask_bits(), fresh->rush_mask_bits())
+        << learned->name();
+  }
+}
+
+}  // namespace
+}  // namespace snipr::node

@@ -57,6 +57,83 @@ TEST(Channel, PartialLossDropsSomeFrames) {
   EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.05);
 }
 
+TEST(Channel, ZeroAirtimeProbesTheClosedContactInterval) {
+  // A zero-airtime delivery is a pure presence query: "is the receiver
+  // in range at this instant?" The answer is yes over the CLOSED
+  // interval [arrival, departure] — a frame *starting* exactly at the
+  // departure instant with no airtime still sees the vehicle, while the
+  // half-open covers() test would already say no.
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.try_deliver(at_s(100), Duration::zero()));    // arrival
+  EXPECT_TRUE(ch.try_deliver(at_s(101), Duration::zero()));    // middle
+  EXPECT_TRUE(ch.try_deliver(at_s(102), Duration::zero()));    // departure
+  EXPECT_FALSE(ch.try_deliver(at_s(99.999), Duration::zero()));
+  EXPECT_FALSE(ch.try_deliver(at_s(102.001), Duration::zero()));
+}
+
+TEST(Channel, ZeroAirtimeNeverConsumesTheLossStream) {
+  // Presence queries must not advance the frame-loss RNG: a zero-length
+  // frame has no bits to lose, and burning a draw would make delivery
+  // outcomes depend on how often the caller *looked*.
+  LinkParams lossy;
+  lossy.frame_loss = 1.0;  // every real frame dies...
+  Channel ch{one_contact(), lossy, sim::Rng{1}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(ch.try_deliver(at_s(101), Duration::zero()));
+  }
+  // ...and the stream is untouched: a channel that made 20 zero-airtime
+  // queries draws the same sequence as a fresh one.
+  LinkParams half;
+  half.frame_loss = 0.5;
+  Channel queried{one_contact(), half, sim::Rng{9}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(queried.try_deliver(at_s(100.5), Duration::zero()));
+  }
+  Channel fresh{one_contact(), half, sim::Rng{9}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(queried.try_deliver(at_s(100.5), Duration::milliseconds(1)),
+              fresh.try_deliver(at_s(100.5), Duration::milliseconds(1)))
+        << "draw " << i;
+  }
+}
+
+TEST(Channel, FrameEndingExactlyAtDepartureIsDelivered) {
+  // A positive-airtime frame needs the receiver for the whole airtime;
+  // one that ends exactly at the departure instant just makes it.
+  Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.try_deliver(at_s(101.999), Duration::milliseconds(1)));
+  // Starting exactly at departure with positive airtime cannot.
+  EXPECT_FALSE(ch.try_deliver(at_s(102), Duration::milliseconds(1)));
+}
+
+TEST(Channel, ZeroLengthContactIsVisibleOnlyToZeroAirtime) {
+  // A zero-length contact (arrival == departure) occupies one instant.
+  // No positive-airtime frame fits inside it, but a presence query at
+  // that instant must still see it.
+  ContactSchedule schedule{{{at_s(50), Duration::zero()}}};
+  Channel ch{schedule, LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.try_deliver(at_s(50), Duration::zero()));
+  EXPECT_FALSE(ch.try_deliver(at_s(50), Duration::milliseconds(1)));
+  EXPECT_FALSE(ch.try_deliver(at_s(49.999), Duration::zero()));
+  EXPECT_FALSE(ch.try_deliver(at_s(50.001), Duration::zero()));
+}
+
+TEST(Channel, ZeroAirtimeBetweenAdjacentContactsMatchesEither) {
+  // Back-to-back contacts sharing an instant: contact 0 departs exactly
+  // when contact 1 arrives. A presence query at the shared instant is in
+  // range either way, and the earlier contact's departure must be found
+  // even though the cursor has moved past it.
+  ContactSchedule schedule{{{at_s(10), Duration::seconds(2)},
+                            {at_s(12), Duration::seconds(2)},
+                            {at_s(20), Duration::seconds(1)}}};
+  Channel ch{schedule, LinkParams{}, sim::Rng{1}};
+  EXPECT_TRUE(ch.try_deliver(at_s(12), Duration::zero()));
+  EXPECT_TRUE(ch.try_deliver(at_s(14), Duration::zero()));  // 1 departs
+  EXPECT_FALSE(ch.try_deliver(at_s(15), Duration::zero()));
+  EXPECT_TRUE(ch.try_deliver(at_s(21), Duration::zero()));  // 2 departs
+  EXPECT_FALSE(ch.try_deliver(at_s(22), Duration::zero()));
+}
+
 TEST(Channel, ActiveContactLookup) {
   Channel ch{one_contact(), LinkParams{}, sim::Rng{1}};
   EXPECT_TRUE(ch.active_contact(at_s(100.1)).has_value());

@@ -1,0 +1,25 @@
+// Lint self-test fixture: the sanctioned fault-plane RNG shapes must
+// stay silent — fork() assignments, Rng parameters and members are all
+// fine; only brace-construction from a seed is the tell. The one real
+// root seeding pattern is shown with its justified allow(), mirroring
+// src/fault/fault_plan.cpp. --self-test asserts zero findings here.
+
+namespace snipr::fault {
+
+struct CleanPlan {
+  explicit CleanPlan(unsigned long long seed) {
+    // snipr-lint: allow(fault-stream-discipline) fixture mirroring the
+    // plan root, the one place the fault seed may enter.
+    sim::Rng root{seed};
+    first_ = root.fork();
+    second_ = root.fork();
+  }
+
+  sim::Rng first_;
+  sim::Rng second_;
+};
+
+// A parameter is a hand-off of an already-forked stream, not a seeding.
+inline sim::Rng pass_through(sim::Rng stream) { return stream; }
+
+}  // namespace snipr::fault

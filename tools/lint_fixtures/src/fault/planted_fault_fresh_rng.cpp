@@ -1,0 +1,17 @@
+// Lint self-test fixture: plants an ad-hoc seeded RNG inside the fault
+// plane. Never compiled; snipr_lint.py --self-test asserts the
+// fault-stream-discipline rule flags exactly this file.
+
+namespace snipr::fault {
+
+struct PlantedFreshStream {
+  // Seeding a fresh stream here instead of forking from the plan root
+  // gives the run a second seed whose draw alignment shifts with
+  // shard/thread count — the exact drift the fork discipline prevents.
+  double draw() {
+    sim::Rng rogue{12345};
+    return rogue.uniform();
+  }
+};
+
+}  // namespace snipr::fault

@@ -1,0 +1,18 @@
+// Lint self-test fixture: plants a ground-truth read inside the fault
+// plane. Never compiled; snipr_lint.py --self-test asserts the
+// censored-feedback rule covers src/fault and flags exactly this file.
+
+namespace snipr::fault {
+
+class PlantedInjector {
+ public:
+  // A fault injector reading the true schedule could bias its miss
+  // draws by arrival structure the node never observed — the same
+  // un-censoring bug as a learner peeking, one layer down.
+  template <typename ContactSchedule>
+  bool miss_if_short(const ContactSchedule& schedule) const {
+    return schedule.contacts().size() < 2;
+  }
+};
+
+}  // namespace snipr::fault

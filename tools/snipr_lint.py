@@ -40,8 +40,19 @@ Rules (ids are stable; use them in suppressions):
   ``Scheduler::on_probe_detected`` / ``on_contact_probed`` — feeding
   them truth a real node cannot observe silently un-censors the whole
   evaluation (the bug class this PR's regret bench exists to catch).
+  The fault plane (``src/fault``, ``include/snipr/fault``) is held to
+  the same bar: injectors perturb *observations* the engine hands
+  them, so ground-truth arrival structure leaking in would let a
+  fault draw depend on what the node was never allowed to see.
   Clairvoyant benchmark code is exempt when the file carries a
   ``// snipr-lint: oracle-file <why>`` marker.
+* ``fault-stream-discipline`` — no direct seeded ``sim::Rng``
+  construction inside the fault plane. Injector streams must be
+  forked from the FaultPlan root in node order (the same discipline
+  the node channel RNGs follow), or byte-identical-at-any-shard-count
+  gains a second, unforked seed to drift on. The single legitimate
+  root seeding in the plan constructor carries a justified
+  ``allow()``.
 * ``nolint-justification`` — every ``NOLINT``/``NOLINTNEXTLINE`` and
   every ``snipr-lint: allow(...)`` must carry a written justification
   (trailing text, or a comment within the three lines above). A bare
@@ -95,9 +106,9 @@ AMBIENT_RES = [
 # scope too). bench/ and tests/ may read ground truth freely — they ARE
 # the oracle side of the experiment.
 CENSORED_SCOPE_RE = re.compile(
-    r"^(src|include/snipr)/(core|node)/\w*"
+    r"^(src|include/snipr)/((core|node)/\w*"
     r"(rush_hour_learner|adaptive_snip_rh|exploration_policy"
-    r"|snip_rh|snip_at|scheduler)\w*\.(cpp|hpp|h|cc)$")
+    r"|snip_rh|snip_at|scheduler)\w*|fault/\w+)\.(cpp|hpp|h|cc)$")
 ORACLE_MARK_RE = re.compile(r"//\s*snipr-lint:\s*oracle-file\b")
 CENSORED_TOKEN_RES = [
     (re.compile(r"\bContactSchedule\b"), "ContactSchedule"),
@@ -107,6 +118,12 @@ CENSORED_TOKEN_RES = [
     (re.compile(r"\bactive_contact\b"), "active_contact"),
     (re.compile(r"\bradio\s*::\s*Channel\b"), "radio::Channel"),
 ]
+# Fault-plane stream discipline: the only way randomness may enter
+# fault:: is the plan root forking per-node injector streams, so a
+# brace-construction of sim::Rng from a seed expression is the tell.
+# (Parameter/member declarations and fork() assignments don't match.)
+FAULT_SCOPE_RE = re.compile(r"^(src|include/snipr)/fault/")
+FAULT_RNG_CTOR_RE = re.compile(r"\bsim\s*::\s*Rng\s+\w+\s*\{|\bsim\s*::\s*Rng\s*\{")
 SQUARE_ACCUM_RE = re.compile(
     r"\+=\s*(?P<f>[A-Za-z_]\w*(?:(?:\.|->)\w+)*(?:\(\))?)\s*\*\s*(?P=f)(?![\w.])")
 POW_ACCUM_RE = re.compile(
@@ -118,6 +135,7 @@ RULE_IDS = (
     "ambient-randomness",
     "raw-variance-accumulation",
     "censored-feedback",
+    "fault-stream-discipline",
     "nolint-justification",
 )
 
@@ -298,6 +316,17 @@ def check_file(rel, raw_lines, findings):
                          "clairvoyant benchmark with "
                          "'// snipr-lint: oracle-file <why>'")
 
+    # fault-stream-discipline: randomness enters fault:: once, at the
+    # plan root; everything else forks.
+    if FAULT_SCOPE_RE.match(rel_posix):
+        for idx, line in enumerate(stripped, start=1):
+            if FAULT_RNG_CTOR_RE.search(line):
+                emit(idx, "fault-stream-discipline",
+                     "direct sim::Rng construction in the fault plane; "
+                     "injector streams must be forked from the FaultPlan "
+                     "root in node order, or shard/thread count can "
+                     "realign the draws")
+
     # Library-only rules.
     if LIBRARY_RE.match(rel_posix):
         for idx, line in enumerate(stripped, start=1):
@@ -356,6 +385,8 @@ def self_test(repo_root):
         ("src/core/planted_wall_clock.cpp", "ambient-randomness"),
         ("src/stats/planted_raw_variance.cpp", "raw-variance-accumulation"),
         ("src/core/planted_rush_hour_learner_peek.cpp", "censored-feedback"),
+        ("src/fault/planted_fault_truth_peek.cpp", "censored-feedback"),
+        ("src/fault/planted_fault_fresh_rng.cpp", "fault-stream-discipline"),
         ("src/core/planted_naked_nolint.cpp", "nolint-justification"),
     }
     findings = []
